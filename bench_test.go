@@ -1,0 +1,199 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (see DESIGN.md for the
+// index), plus microbenchmarks of the hot substrate kernels. The macro
+// benchmarks run the same code paths as `cmd/bench` at a reduced "bench"
+// profile so `go test -bench=. -benchmem` finishes in minutes; use
+// `cmd/bench -profile standard` for fuller runs.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bitassign"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/quant"
+	"repro/internal/synthetic"
+	"repro/internal/tensor"
+)
+
+// benchProfile is a further-reduced profile so every macro benchmark
+// iteration stays in the hundreds of milliseconds.
+var benchProfile = experiments.Profile{
+	Name: "bench", Scale: 0.08, FeatureCap: 64, Hidden: 32,
+	EpochsLong: 10, EpochsShort: 3, Runs: 1, EvalEvery: 5,
+}
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Profile: benchProfile, Out: io.Discard}
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Options) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the Vanilla communication-overhead table.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+// BenchmarkTable2 regenerates the central-comp vs 2-bit-comm comparison.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+// BenchmarkFigure2 regenerates the per-device-pair data-size figure.
+func BenchmarkFigure2(b *testing.B) { runExperiment(b, experiments.Figure2) }
+
+// BenchmarkFigure3 regenerates the all-vs-marginal computation figure.
+func BenchmarkFigure3(b *testing.B) { runExperiment(b, experiments.Figure3) }
+
+// BenchmarkTable4 regenerates the headline accuracy/throughput comparison.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, experiments.Table4) }
+
+// BenchmarkTable5And9 regenerates the wall-clock comparison tables.
+func BenchmarkTable5And9(b *testing.B) { runExperiment(b, experiments.Table5And9) }
+
+// BenchmarkTable6 regenerates the uniform-vs-adaptive ablation.
+func BenchmarkTable6(b *testing.B) { runExperiment(b, experiments.Table6) }
+
+// BenchmarkTable7 regenerates the 24-device scalability table.
+func BenchmarkTable7(b *testing.B) { runExperiment(b, experiments.Table7) }
+
+// BenchmarkFigure9 regenerates the convergence-curve series (Reddit +
+// products subset; Figure 12 is the same code over all datasets).
+func BenchmarkFigure9(b *testing.B) {
+	runExperiment(b, func(o experiments.Options) error {
+		return experiments.Figure9And12(o, []string{"products-sim"})
+	})
+}
+
+// BenchmarkFigure10 regenerates the time-breakdown figure.
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, experiments.Figure10) }
+
+// BenchmarkFigure11 regenerates the sensitivity sweeps.
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, experiments.Figure11) }
+
+// ---- substrate microbenchmarks ----
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(1024, 256)
+	w := tensor.New(256, 256)
+	x.FillUniform(rng, -1, 1)
+	w.FillUniform(rng, -1, 1)
+	out := tensor.New(1024, 256)
+	b.SetBytes(int64(4 * 1024 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, w)
+	}
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	ds := synthetic.MustLoad("products-sim", 0.25)
+	g := ds.Graph.WithSelfLoops()
+	g.NormalizeWeights(graph.NormSym)
+	x := tensor.New(g.N, 64)
+	x.FillUniform(tensor.NewRNG(1), -1, 1)
+	out := tensor.New(g.N, 64)
+	b.SetBytes(int64(8 * g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SpMM(out, x)
+	}
+}
+
+func BenchmarkQuantize2Bit(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(1000, 256)
+	x.FillUniform(rng, -1, 1)
+	b.SetBytes(int64(4 * 1000 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.QuantizeRows(x, nil, quant.B2, rng)
+	}
+}
+
+func BenchmarkDequantize2Bit(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(1000, 256)
+	x.FillUniform(rng, -1, 1)
+	stream := quant.QuantizeRows(x, nil, quant.B2, rng)
+	dst := tensor.New(1000, 256)
+	b.SetBytes(int64(4 * 1000 * 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := quant.DequantizeRows(stream, dst, nil, 1000, quant.B2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitAssignSolve(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	const pairs = 56 // 8 devices
+	var msgs []bitassign.Message
+	slots := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		pair := rng.Intn(pairs)
+		msgs = append(msgs, bitassign.Message{
+			Pair: pair, Slot: slots[pair], Dim: 256, Beta: rng.Float64() * 10,
+		})
+		slots[pair]++
+	}
+	theta := make([]float64, pairs)
+	gamma := make([]float64, pairs)
+	for i := range theta {
+		theta[i] = 8e-11
+		gamma[i] = 1e-3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := bitassign.NewProblem(msgs, 100, theta, gamma, 0.5)
+		p.Solve()
+	}
+}
+
+func BenchmarkLDGPartition(b *testing.B) {
+	ds := synthetic.MustLoad("products-sim", 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.Partition(ds.Graph, 8, partition.LDG)
+	}
+}
+
+func BenchmarkEpochVanilla(b *testing.B) {
+	ds := synthetic.MustLoad("tiny", 1)
+	dep := core.Deploy(ds, 4, core.GCN, partition.Block)
+	cfg := core.DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Epochs = 1
+	cfg.EvalEvery = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainDeployed(dep, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpochAdaQP(b *testing.B) {
+	ds := synthetic.MustLoad("tiny", 1)
+	dep := core.Deploy(ds, 4, core.GCN, partition.Block)
+	cfg := core.DefaultConfig()
+	cfg.Method = core.AdaQP
+	cfg.Hidden = 32
+	cfg.Epochs = 2 // bootstrap + one quantized epoch
+	cfg.EvalEvery = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainDeployed(dep, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

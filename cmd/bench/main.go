@@ -1,0 +1,109 @@
+// Command bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bench -all                      # every experiment, quick profile
+//	bench -table 1,2 -figure 9      # selected experiments
+//	bench -profile standard -table 4
+//
+// Profiles trade fidelity for runtime: quick (default, minutes),
+// standard, full (hours, paper-scale synthetic datasets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		tables  = flag.String("table", "", "comma-separated table ids: 1,2,4,5,6,7,9")
+		figures = flag.String("figure", "", "comma-separated figure ids: 2,3,9,10,11,12")
+		all     = flag.Bool("all", false, "run every experiment")
+		profile = flag.String("profile", "quick", "quick | standard | full")
+	)
+	flag.Parse()
+
+	var p experiments.Profile
+	switch *profile {
+	case "quick":
+		p = experiments.Quick
+	case "standard":
+		p = experiments.Standard
+	case "full":
+		p = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	opt := experiments.Options{Profile: p, Out: os.Stdout}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*tables, ",") {
+		if id != "" {
+			want["t"+id] = true
+		}
+	}
+	for _, id := range strings.Split(*figures, ",") {
+		if id != "" {
+			want["f"+id] = true
+		}
+	}
+	if *all {
+		for _, id := range []string{"t1", "t2", "t4", "t5", "t6", "t7", "t9", "f2", "f3", "f9", "f10", "f11", "f12"} {
+			want[id] = true
+		}
+	}
+	if len(want) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	type job struct {
+		ids []string
+		fn  func() error
+	}
+	jobs := []job{
+		{[]string{"t1"}, func() error { return experiments.Table1(opt) }},
+		{[]string{"f2"}, func() error { return experiments.Figure2(opt) }},
+		{[]string{"t2"}, func() error { return experiments.Table2(opt) }},
+		{[]string{"f3"}, func() error { return experiments.Figure3(opt) }},
+		{[]string{"t4"}, func() error { return experiments.Table4(opt) }},
+		{[]string{"t5", "t9"}, func() error { return experiments.Table5And9(opt) }},
+		{[]string{"t6"}, func() error { return experiments.Table6(opt) }},
+		{[]string{"t7"}, func() error { return experiments.Table7(opt) }},
+		{[]string{"f9"}, func() error { return experiments.Figure9And12(opt, nil) }},
+		{[]string{"f12"}, func() error {
+			return experiments.Figure9And12(opt, []string{"reddit-sim", "yelp-sim", "products-sim", "amazon-sim"})
+		}},
+		{[]string{"f10"}, func() error { return experiments.Figure10(opt) }},
+		{[]string{"f11"}, func() error { return experiments.Figure11(opt) }},
+	}
+	ran := map[string]bool{}
+	for _, j := range jobs {
+		hit := false
+		for _, id := range j.ids {
+			if want[id] && !ran[id] {
+				hit = true
+			}
+		}
+		if !hit {
+			continue
+		}
+		// f9 and f12 share a function; skip f9 if f12 (superset) also runs.
+		if j.ids[0] == "f9" && want["f12"] {
+			continue
+		}
+		if err := j.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, id := range j.ids {
+			ran[id] = true
+		}
+	}
+}

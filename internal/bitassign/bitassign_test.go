@@ -1,0 +1,245 @@
+package bitassign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func uniformCost(pairs int) ([]float64, []float64) {
+	theta := make([]float64, pairs)
+	gamma := make([]float64, pairs)
+	for i := range theta {
+		theta[i] = 8e-11 // 100 Gbps
+		gamma[i] = 50e-6
+	}
+	return theta, gamma
+}
+
+func randomProblem(rng *tensor.RNG, nMsgs, nPairs, groupSize int, lambda float64) *Problem {
+	msgs := make([]Message, nMsgs)
+	slotPerPair := map[int]int{}
+	for i := range msgs {
+		pair := rng.Intn(nPairs)
+		msgs[i] = Message{
+			Pair: pair,
+			Slot: slotPerPair[pair],
+			Dim:  16 + rng.Intn(100),
+			Beta: rng.Float64() * 10,
+		}
+		slotPerPair[pair]++
+	}
+	theta, gamma := uniformCost(nPairs)
+	return NewProblem(msgs, groupSize, theta, gamma, lambda)
+}
+
+func TestGroupingSortsByBeta(t *testing.T) {
+	msgs := []Message{
+		{Pair: 0, Slot: 0, Dim: 8, Beta: 1},
+		{Pair: 0, Slot: 1, Dim: 8, Beta: 9},
+		{Pair: 0, Slot: 2, Dim: 8, Beta: 5},
+		{Pair: 0, Slot: 3, Dim: 8, Beta: 3},
+	}
+	theta, gamma := uniformCost(1)
+	p := NewProblem(msgs, 2, theta, gamma, 0.5)
+	if len(p.Groups) != 2 {
+		t.Fatalf("want 2 groups, got %d", len(p.Groups))
+	}
+	// First group must hold the two largest βs: 9 and 5.
+	if math.Abs(p.Groups[0].Beta-14) > 1e-12 {
+		t.Fatalf("first group β %v, want 14", p.Groups[0].Beta)
+	}
+	if math.Abs(p.Groups[1].Beta-4) > 1e-12 {
+		t.Fatalf("second group β %v, want 4", p.Groups[1].Beta)
+	}
+}
+
+func TestGroupsCoverAllMessages(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	p := randomProblem(rng, 57, 4, 5, 0.5)
+	covered := map[int]bool{}
+	for _, g := range p.Groups {
+		for _, mi := range g.Members {
+			if covered[mi] {
+				t.Fatalf("message %d in two groups", mi)
+			}
+			covered[mi] = true
+		}
+	}
+	if len(covered) != 57 {
+		t.Fatalf("covered %d of 57 messages", len(covered))
+	}
+}
+
+func TestObjectiveMonotonicInWidths(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	p := randomProblem(rng, 20, 3, 4, 0.5)
+	all2 := quant.UniformWidths(len(p.Groups), quant.B2)
+	all8 := quant.UniformWidths(len(p.Groups), quant.B8)
+	v2, t2, _ := p.Objective(all2)
+	v8, t8, _ := p.Objective(all8)
+	if v8 >= v2 {
+		t.Fatalf("8-bit variance %v should be below 2-bit %v", v8, v2)
+	}
+	if t8 <= t2 {
+		t.Fatalf("8-bit time %v should exceed 2-bit %v", t8, t2)
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	// λ=1: pure variance → everything 8-bit. λ=0: pure time → 2-bit.
+	msgs := make([]Message, 12)
+	for i := range msgs {
+		msgs[i] = Message{Pair: i % 2, Slot: i / 2, Dim: 64, Beta: 1 + rng.Float64()}
+	}
+	theta, gamma := uniformCost(2)
+	pv := NewProblem(msgs, 3, theta, gamma, 1.0)
+	for _, w := range pv.Solve() {
+		if w != quant.B8 {
+			t.Fatalf("λ=1 should assign 8-bit, got %d", w)
+		}
+	}
+	pt := NewProblem(msgs, 3, theta, gamma, 0.0)
+	for _, w := range pt.Solve() {
+		if w != quant.B2 {
+			t.Fatalf("λ=0 should assign 2-bit, got %d", w)
+		}
+	}
+}
+
+func TestSolveMatchesExhaustiveSmall(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := tensor.NewRNG(seed)
+		p := randomProblem(rng, 6+rng.Intn(4), 1+rng.Intn(3), 1, 0.3+0.4*rng.Float64())
+		if len(p.Groups) > 8 {
+			continue
+		}
+		got := p.Solve()
+		best := p.SolveExhaustive(8)
+		_, _, sGot := p.Objective(got)
+		_, _, sBest := p.Objective(best)
+		// Greedy+local-search should be within a hair of optimal.
+		if sGot > sBest*1.02+1e-12 {
+			t.Fatalf("seed %d: greedy %v vs optimal %v (gap %.2f%%)",
+				seed, sGot, sBest, 100*(sGot/sBest-1))
+		}
+	}
+}
+
+func TestSolveNeverWorseThanUniform(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		p := randomProblem(rng, 10+rng.Intn(60), 1+rng.Intn(6), 1+rng.Intn(8), 0.5)
+		_, _, s := p.Objective(p.Solve())
+		for _, b := range quant.Candidates {
+			_, _, u := p.Objective(quant.UniformWidths(len(p.Groups), b))
+			if s > u+1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighBetaGetsMoreBits(t *testing.T) {
+	// Two messages on one pair: one huge β, one tiny. With a balanced λ the
+	// solver must protect the high-variance message with more bits.
+	msgs := []Message{
+		{Pair: 0, Slot: 0, Dim: 256, Beta: 1e6},
+		{Pair: 0, Slot: 1, Dim: 256, Beta: 1e-6},
+	}
+	theta, gamma := uniformCost(1)
+	p := NewProblem(msgs, 1, theta, gamma, 0.5)
+	widths := p.Solve()
+	// Groups are sorted by β, so group 0 is the big one.
+	if widths[0] <= widths[1] && widths[0] != quant.B8 {
+		t.Fatalf("high-β message got %d bits, low-β got %d", widths[0], widths[1])
+	}
+}
+
+func TestStragglerDrivenDowngrade(t *testing.T) {
+	// Pair 0 carries 50× the data of pair 1. The minimax time objective is
+	// dominated by pair 0, so its widths are pushed down while pair 1 can
+	// stay high.
+	var msgs []Message
+	for i := 0; i < 50; i++ {
+		msgs = append(msgs, Message{Pair: 0, Slot: i, Dim: 256, Beta: 1})
+	}
+	msgs = append(msgs, Message{Pair: 1, Slot: 0, Dim: 256, Beta: 1})
+	theta, gamma := uniformCost(2)
+	p := NewProblem(msgs, 10, theta, gamma, 0.5)
+	widths := p.Solve()
+	var heavy, light float64
+	var nh, nl int
+	for i, g := range p.Groups {
+		if g.Pair == 0 {
+			heavy += float64(widths[i])
+			nh++
+		} else {
+			light += float64(widths[i])
+			nl++
+		}
+	}
+	if heavy/float64(nh) > light/float64(nl) {
+		t.Fatalf("straggler pair got avg %.1f bits vs light pair %.1f", heavy/float64(nh), light/float64(nl))
+	}
+}
+
+func TestExpandToSlots(t *testing.T) {
+	msgs := []Message{
+		{Pair: 7, Slot: 0, Dim: 8, Beta: 5},
+		{Pair: 7, Slot: 1, Dim: 8, Beta: 1},
+		{Pair: 3, Slot: 0, Dim: 8, Beta: 2},
+	}
+	theta := make([]float64, 10)
+	gamma := make([]float64, 10)
+	for i := range theta {
+		theta[i] = 1e-10
+	}
+	p := NewProblem(msgs, 1, theta, gamma, 0.5)
+	widths := make([]quant.BitWidth, len(p.Groups))
+	for i := range widths {
+		widths[i] = quant.B4
+	}
+	slots := p.ExpandToSlots(widths)
+	if len(slots[7]) != 2 || len(slots[3]) != 1 {
+		t.Fatalf("slot shapes wrong: %v", slots)
+	}
+	for _, ws := range slots {
+		for _, w := range ws {
+			if w != quant.B4 {
+				t.Fatalf("expanded width %d", w)
+			}
+		}
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	theta, gamma := uniformCost(1)
+	p := NewProblem(nil, 5, theta, gamma, 0.5)
+	if ws := p.Solve(); len(ws) != 0 {
+		t.Fatal("empty problem should yield no widths")
+	}
+	v, mt, s := p.Objective(nil)
+	if v != 0 || mt != 0 || s != 0 {
+		t.Fatalf("empty objective: %v %v %v", v, mt, s)
+	}
+}
+
+func TestSolveExhaustiveCapPanics(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	p := randomProblem(rng, 30, 2, 1, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected cap panic")
+		}
+	}()
+	p.SolveExhaustive(5)
+}

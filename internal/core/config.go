@@ -1,0 +1,171 @@
+// Package core implements the paper's training systems: the Vanilla
+// synchronous baseline, AdaQP (adaptive message quantization +
+// central/marginal computation–communication parallelization), the
+// uniform-bit-width ablations, and the staleness-based comparison systems
+// PipeGCN and SANCUS — all running on the in-process cluster runtime with
+// real numerics and simulated device/network timing.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// ModelKind selects the GNN architecture.
+type ModelKind int
+
+const (
+	// GCN uses self-loops + symmetric normalization (Kipf & Welling).
+	GCN ModelKind = iota
+	// GraphSAGE uses mean aggregation concatenated with the self
+	// embedding (full-batch, Hamilton et al.).
+	GraphSAGE
+)
+
+func (m ModelKind) String() string {
+	if m == GraphSAGE {
+		return "GraphSAGE"
+	}
+	return "GCN"
+}
+
+// Method selects the training system.
+type Method int
+
+const (
+	// Vanilla is synchronous full-precision full-graph training (§2.2).
+	Vanilla Method = iota
+	// AdaQP is the paper's system: adaptive quantization + overlap.
+	AdaQP
+	// AdaQPUniform quantizes every message at Config.UniformBits with
+	// AdaQP's overlap (used for Table 2's 2-bit measurement).
+	AdaQPUniform
+	// AdaQPRandom samples each message's width uniformly from {2,4,8}
+	// (Table 6's "Uniform" sampling scheme ablation).
+	AdaQPRandom
+	// PipeGCN overlaps communication with computation across iterations
+	// using one-epoch-stale boundary messages (Wan et al., 2022b).
+	PipeGCN
+	// SANCUS avoids communication via sequential broadcasts skipped under
+	// a staleness bound, with historical embeddings in between (Peng et
+	// al., 2022).
+	SANCUS
+)
+
+func (m Method) String() string {
+	switch m {
+	case Vanilla:
+		return "Vanilla"
+	case AdaQP:
+		return "AdaQP"
+	case AdaQPUniform:
+		return "AdaQP-uniform"
+	case AdaQPRandom:
+		return "AdaQP-random"
+	case PipeGCN:
+		return "PipeGCN"
+	case SANCUS:
+		return "SANCUS"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Config holds everything one training run needs. Defaults follow the
+// paper's unified hyper-parameters (Appendix B): 3 layers, hidden 256,
+// LayerNorm, Adam lr 0.01, dropout per dataset, λ = 0.5.
+type Config struct {
+	Model  ModelKind
+	Method Method
+
+	Layers  int // number of GNN layers
+	Hidden  int // hidden dimension
+	LR      float32
+	Dropout float32
+	Epochs  int
+
+	// EvalEvery controls how often validation accuracy is recorded
+	// (test accuracy is always computed at the end). 0 disables.
+	EvalEvery int
+
+	// AdaQP knobs (§5.5): message group size, λ of Eqn. 12, and the
+	// bit-width re-assignment period in epochs.
+	GroupSize      int
+	Lambda         float64
+	ReassignPeriod int
+
+	// UniformBits is the width used by AdaQPUniform.
+	UniformBits quant.BitWidth
+
+	// SANCUS staleness: a device re-broadcasts its boundary embeddings
+	// when their relative drift exceeds SancusDrift, or at the latest
+	// every SancusMaxStale epochs.
+	SancusDrift    float64
+	SancusMaxStale int
+
+	// Seed drives weight init, dropout, stochastic rounding and the
+	// random-width ablation.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's unified training configuration.
+func DefaultConfig() Config {
+	return Config{
+		Model:          GCN,
+		Method:         Vanilla,
+		Layers:         3,
+		Hidden:         256,
+		LR:             0.01,
+		Dropout:        0.5,
+		Epochs:         200,
+		EvalEvery:      5,
+		GroupSize:      100,
+		Lambda:         0.5,
+		ReassignPeriod: 50,
+		UniformBits:    quant.B2,
+		SancusDrift:    0.05,
+		SancusMaxStale: 8,
+		Seed:           1,
+	}
+}
+
+// validate fills defaults for zero-valued fields and sanity-checks.
+func (c *Config) validate() error {
+	if c.Layers <= 0 {
+		c.Layers = 3
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 256
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 100
+	}
+	if c.Lambda < 0 || c.Lambda > 1 {
+		return fmt.Errorf("core: lambda %v outside [0,1]", c.Lambda)
+	}
+	if c.ReassignPeriod <= 0 {
+		c.ReassignPeriod = 50
+	}
+	if c.UniformBits == 0 {
+		c.UniformBits = quant.B2
+	}
+	if !c.UniformBits.Valid() {
+		return fmt.Errorf("core: invalid uniform bit-width %d", c.UniformBits)
+	}
+	if c.SancusDrift <= 0 {
+		c.SancusDrift = 0.05
+	}
+	if c.SancusMaxStale <= 0 {
+		c.SancusMaxStale = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}

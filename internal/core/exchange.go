@@ -1,0 +1,268 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Halo exchange: per GNN layer, each device ships the rows its peers need
+// (lg.SendTo wire order) and fills its halo rows ([NumLocal,
+// NumLocal+NumHalo) of xFull) from what arrives (lg.RecvFrom wire order).
+// The reverse (backward) exchange ships gradient rows of halo slots back to
+// their owners, which scatter-add them into local gradient rows.
+
+// rowsToBytes serializes x's rows idx as little-endian float32.
+func rowsToBytes(x *tensor.Matrix, idx []int32) []byte {
+	out := make([]byte, 4*len(idx)*x.Cols)
+	off := 0
+	for _, r := range idx {
+		for _, v := range x.Row(int(r)) {
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	return out
+}
+
+// bytesToRows deserializes buf into dst rows rows[i]+rowOffset.
+func bytesToRows(buf []byte, dst *tensor.Matrix, rows []int32, rowOffset int) error {
+	if len(buf) != 4*len(rows)*dst.Cols {
+		return fmt.Errorf("core: halo payload is %d bytes, want %d", len(buf), 4*len(rows)*dst.Cols)
+	}
+	off := 0
+	for _, r := range rows {
+		row := dst.Row(int(r) + rowOffset)
+		for j := range row {
+			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	return nil
+}
+
+// addBytesToRows is bytesToRows with += semantics (backward scatter-add).
+func addBytesToRows(buf []byte, dst *tensor.Matrix, rows []int32) error {
+	if len(buf) != 4*len(rows)*dst.Cols {
+		return fmt.Errorf("core: grad payload is %d bytes, want %d", len(buf), 4*len(rows)*dst.Cols)
+	}
+	off := 0
+	for _, r := range rows {
+		row := dst.Row(int(r))
+		for j := range row {
+			row[j] += math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	return nil
+}
+
+// exchangeHaloFP performs the full-precision forward halo exchange
+// (Vanilla), filling xFull's halo rows. When raw is true no simulated time
+// is charged (evaluation sideband).
+func exchangeHaloFP(dev *cluster.Device, lg *partition.LocalGraph, xLocal, xFull *tensor.Matrix, raw bool) error {
+	n := dev.Size()
+	payloads := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		payloads[q] = rowsToBytes(xLocal, lg.SendTo[q])
+	}
+	var recv [][]byte
+	if raw {
+		recv = dev.RawAll2All(payloads)
+	} else {
+		recv = dev.RingAll2All(payloads)
+	}
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		if err := bytesToRows(recv[p], xFull, lg.RecvFrom[p], lg.NumLocal); err != nil {
+			return fmt.Errorf("rank %d from %d: %w", dev.Rank(), p, err)
+		}
+	}
+	return nil
+}
+
+// exchangeGradFP performs the full-precision backward exchange: dxFull's
+// halo rows go back to their owners and are scatter-added into dxLocal.
+func exchangeGradFP(dev *cluster.Device, lg *partition.LocalGraph, dxFull, dxLocal *tensor.Matrix) error {
+	n := dev.Size()
+	payloads := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		// Halo rows live at NumLocal+slot; reuse rowsToBytes via shifted
+		// index list.
+		idx := make([]int32, len(lg.RecvFrom[p]))
+		for i, s := range lg.RecvFrom[p] {
+			idx[i] = s + int32(lg.NumLocal)
+		}
+		payloads[p] = rowsToBytes(dxFull, idx)
+	}
+	recv := dev.RingAll2All(payloads)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		if err := addBytesToRows(recv[q], dxLocal, lg.SendTo[q]); err != nil {
+			return fmt.Errorf("rank %d grads from %d: %w", dev.Rank(), q, err)
+		}
+	}
+	return nil
+}
+
+// widthTable holds the current bit-width assignment on one device for one
+// direction of one layer: send[q][j] is the width of the j-th wire slot to
+// device q; recv[p][j] mirrors the sender's table so streams decode.
+type widthTable struct {
+	send [][]quant.BitWidth
+	recv [][]quant.BitWidth
+}
+
+func newWidthTable(lg *partition.LocalGraph, fwd bool, def quant.BitWidth) *widthTable {
+	n := lg.Parts
+	wt := &widthTable{send: make([][]quant.BitWidth, n), recv: make([][]quant.BitWidth, n)}
+	for d := 0; d < n; d++ {
+		var sendLen, recvLen int
+		if fwd {
+			sendLen, recvLen = len(lg.SendTo[d]), len(lg.RecvFrom[d])
+		} else {
+			// Backward reverses direction: we send grads for slots we
+			// receive in forward, and receive grads for rows we send.
+			sendLen, recvLen = len(lg.RecvFrom[d]), len(lg.SendTo[d])
+		}
+		wt.send[d] = quant.UniformWidths(sendLen, def)
+		wt.recv[d] = quant.UniformWidths(recvLen, def)
+	}
+	return wt
+}
+
+// quantElems returns how many float32 elements this device quantizes when
+// sending with table wt at dim columns (for the Quant time charge).
+func quantSendElems(wt *widthTable, dim int) int {
+	n := 0
+	for _, ws := range wt.send {
+		n += len(ws) * dim
+	}
+	return n
+}
+
+func quantRecvElems(wt *widthTable, dim int) int {
+	n := 0
+	for _, ws := range wt.recv {
+		n += len(ws) * dim
+	}
+	return n
+}
+
+// exchangeHaloQ performs the quantized forward halo exchange with per-slot
+// widths. Charges Quant for the quantize/de-quantize kernels; Comm is
+// charged inside RingAll2All. Returns the Comm seconds this call added
+// (used by the overlap schedule).
+func exchangeHaloQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable,
+	xLocal, xFull *tensor.Matrix) (timing.Seconds, error) {
+	n := dev.Size()
+	model := dev.Model()
+	dev.Clock().Advance(timing.Quant, model.QuantTime(quantSendElems(wt, xLocal.Cols)))
+	payloads := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		buf, err := quant.QuantizeMixed(xLocal, lg.SendTo[q], wt.send[q], dev.RNG)
+		if err != nil {
+			return 0, err
+		}
+		payloads[q] = buf
+	}
+	before := dev.Clock().Spent(timing.Comm)
+	recv := dev.RingAll2All(payloads)
+	commDelta := dev.Clock().Spent(timing.Comm) - before
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		idx := make([]int32, len(lg.RecvFrom[p]))
+		for i, s := range lg.RecvFrom[p] {
+			idx[i] = s + int32(lg.NumLocal)
+		}
+		if err := quant.DequantizeMixed(recv[p], xFull, idx, wt.recv[p]); err != nil {
+			return 0, fmt.Errorf("rank %d from %d: %w", dev.Rank(), p, err)
+		}
+	}
+	dev.Clock().Advance(timing.Quant, model.QuantTime(quantRecvElems(wt, xFull.Cols)))
+	return commDelta, nil
+}
+
+// exchangeGradQ performs the quantized backward exchange (embedding
+// gradients / "errors"). wt is the backward width table: send[p] covers
+// slots RecvFrom[p], recv[q] covers rows SendTo[q].
+func exchangeGradQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable,
+	dxFull, dxLocal *tensor.Matrix) (timing.Seconds, error) {
+	n := dev.Size()
+	model := dev.Model()
+	dev.Clock().Advance(timing.Quant, model.QuantTime(quantSendElems(wt, dxFull.Cols)))
+	payloads := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		idx := make([]int32, len(lg.RecvFrom[p]))
+		for i, s := range lg.RecvFrom[p] {
+			idx[i] = s + int32(lg.NumLocal)
+		}
+		buf, err := quant.QuantizeMixed(dxFull, idx, wt.send[p], dev.RNG)
+		if err != nil {
+			return 0, err
+		}
+		payloads[p] = buf
+	}
+	before := dev.Clock().Spent(timing.Comm)
+	recv := dev.RingAll2All(payloads)
+	commDelta := dev.Clock().Spent(timing.Comm) - before
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		// De-quantize into a scratch row per message, accumulating.
+		buf := recv[q]
+		rows := lg.SendTo[q]
+		// Decode group-by-group via DequantizeMixed into a temp matrix,
+		// then scatter-add (cannot decode straight into dxLocal because
+		// multiple devices may target the same local row).
+		tmp := tensor.New(len(rows), dxLocal.Cols)
+		if err := quant.DequantizeMixed(buf, tmp, nil, wt.recv[q]); err != nil {
+			return 0, fmt.Errorf("rank %d grads from %d: %w", dev.Rank(), q, err)
+		}
+		for i, r := range rows {
+			dst := dxLocal.Row(int(r))
+			src := tmp.Row(i)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	dev.Clock().Advance(timing.Quant, model.QuantTime(quantRecvElems(wt, dxLocal.Cols)))
+	return commDelta, nil
+}
+
+// fpAll2AllBytes returns the per-destination payload sizes of a
+// full-precision forward exchange (for PipeGCN's overlap accounting and
+// Table 1/Fig. 2 measurements).
+func fpAll2AllBytes(lg *partition.LocalGraph, dim int) []int {
+	out := make([]int, lg.Parts)
+	for q := range out {
+		out[q] = 4 * dim * len(lg.SendTo[q])
+	}
+	return out
+}

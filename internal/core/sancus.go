@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// SANCUS (Peng et al., 2022) reimplementation: instead of all2all halo
+// exchange, each device *broadcasts* its boundary-node embeddings to every
+// other device, sequentially — the pattern the paper identifies as less
+// efficient than ring all2all (§5.1). Staleness-awareness: a device skips
+// its broadcast while its boundary embeddings have drifted less than a
+// threshold since the last broadcast (receivers keep using the cached
+// historical embeddings), re-broadcasting at the latest every
+// SancusMaxStale epochs. Historical embeddings are treated as constants in
+// the backward pass, so no embedding gradients cross devices.
+
+// sancusTopology is the static broadcast layout shared by all devices.
+type sancusTopology struct {
+	// boundary[p] lists p's boundary rows (union of every SendTo set),
+	// sorted ascending — the broadcast payload row order.
+	boundary [][]int32
+	// recvMap[p][d][j] is the position within boundary[p] of the row that
+	// fills device d's halo slot RecvFrom[p][j].
+	recvMap [][][]int32
+}
+
+func buildSancusTopology(lgs []*partition.LocalGraph) *sancusTopology {
+	n := len(lgs)
+	t := &sancusTopology{
+		boundary: make([][]int32, n),
+		recvMap:  make([][][]int32, n),
+	}
+	for p := 0; p < n; p++ {
+		seen := map[int32]bool{}
+		var rows []int32
+		for q := 0; q < n; q++ {
+			for _, r := range lgs[p].SendTo[q] {
+				if !seen[r] {
+					seen[r] = true
+					rows = append(rows, r)
+				}
+			}
+		}
+		sortInt32(rows)
+		t.boundary[p] = rows
+		pos := make(map[int32]int32, len(rows))
+		for i, r := range rows {
+			pos[r] = int32(i)
+		}
+		t.recvMap[p] = make([][]int32, n)
+		for d := 0; d < n; d++ {
+			if d == p {
+				continue
+			}
+			m := make([]int32, len(lgs[p].SendTo[d]))
+			for j, r := range lgs[p].SendTo[d] {
+				m[j] = pos[r]
+			}
+			t.recvMap[p][d] = m
+		}
+	}
+	return t
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// sancusExchange fills xFull's halo rows from the per-layer historical
+// cache, refreshing it with any broadcasts that happened this epoch.
+func (w *worker) sancusExchange(epoch, l int, h, xFull *tensor.Matrix) error {
+	lg := w.lg
+	n := w.dev.Size()
+	rank := w.dev.Rank()
+	if w.sancusCache[l] == nil || w.sancusCache[l].Cols != xFull.Cols {
+		w.sancusCache[l] = tensor.New(lg.NumHalo, xFull.Cols)
+	}
+	myBoundary := h.GatherRows(int32sToInts(w.sancus.boundary[rank]))
+
+	broadcast := true
+	if epoch > 0 && w.sancusLast[l] != nil && w.sancusLast[l].SameShape(myBoundary) {
+		drift := tensor.Sub(myBoundary, w.sancusLast[l]).FrobeniusNorm()
+		norm := myBoundary.FrobeniusNorm() + 1e-12
+		broadcast = drift/norm >= w.cfg.SancusDrift || w.sancusAge[l]+1 >= w.cfg.SancusMaxStale
+	}
+
+	for src := 0; src < n; src++ {
+		var payload []byte
+		if src == rank && broadcast && len(w.sancus.boundary[rank]) > 0 {
+			payload = rowsToBytes(myBoundary, allRows(myBoundary.Rows))
+		}
+		got := w.dev.BroadcastBytes(src, payload)
+		if src == rank || len(got) == 0 || len(lg.RecvFrom[src]) == 0 {
+			continue
+		}
+		nRows := len(w.sancus.boundary[src])
+		tmp := tensor.New(nRows, xFull.Cols)
+		if err := bytesToRows(got, tmp, allRows(nRows), 0); err != nil {
+			return fmt.Errorf("sancus: rank %d from %d: %w", rank, src, err)
+		}
+		cache := w.sancusCache[l]
+		for j, slot := range lg.RecvFrom[src] {
+			copy(cache.Row(int(slot)), tmp.Row(int(w.sancus.recvMap[src][rank][j])))
+		}
+	}
+	if broadcast {
+		w.sancusLast[l] = myBoundary.Clone()
+		w.sancusAge[l] = 0
+	} else {
+		w.sancusAge[l]++
+	}
+	for i := 0; i < lg.NumHalo; i++ {
+		copy(xFull.Row(lg.NumLocal+i), w.sancusCache[l].Row(i))
+	}
+	return nil
+}
+
+func allRows(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func int32sToInts(a []int32) []int {
+	out := make([]int, len(a))
+	for i, v := range a {
+		out[i] = int(v)
+	}
+	return out
+}

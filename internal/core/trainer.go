@@ -1,0 +1,506 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/synthetic"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Train runs one full training job of cfg.Method over ds partitioned
+// parts ways (LDG partitioner) and returns the measured result. model may
+// be nil for the default V100/100Gbps calibration.
+func Train(ds *synthetic.Dataset, parts int, cfg Config, model *timing.CostModel) (*metrics.RunResult, error) {
+	dep := Deploy(ds, parts, cfg.Model, partition.Block)
+	return TrainDeployed(dep, cfg, model)
+}
+
+// TrainDeployed is Train over an existing Deployment (lets experiments
+// reuse one partitioning across methods, as the paper's comparisons do).
+func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metrics.RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ds := dep.Dataset
+	parts := dep.Assignment.Parts
+	clu := cluster.New(parts, model)
+
+	res := &metrics.RunResult{
+		Dataset: ds.Name,
+		Model:   cfg.Model.String(),
+		Method:  cfg.Method.String(),
+		Parts:   parts,
+	}
+	denom := float64(synthetic.MaskedCount(ds.TrainMask))
+	// Positive-class weight for multi-label BCE: with a handful of
+	// positives among 100+ classes, unweighted BCE stalls in the trivial
+	// all-negative solution for hundreds of epochs (the paper trains Yelp
+	// and AmazonProducts for 1000+ epochs; our reduced budgets need the
+	// standard neg/pos re-weighting instead).
+	posWeight := 1.0
+	if ds.Task == synthetic.MultiLabel {
+		var pos float64
+		for _, v := range ds.Labels.Data {
+			if v > 0.5 {
+				pos++
+			}
+		}
+		if pos > 0 {
+			posWeight = (float64(len(ds.Labels.Data)) - pos) / pos
+		}
+		if posWeight > 25 {
+			posWeight = 25
+		}
+		if posWeight < 1 {
+			posWeight = 1
+		}
+	}
+
+	// SANCUS needs each device's boundary-union layout globally (static
+	// topology metadata, exchanged once at startup in the real system).
+	var sancus *sancusTopology
+	if cfg.Method == SANCUS {
+		sancus = buildSancusTopology(dep.Locals)
+	}
+
+	err := clu.Run(cfg.Seed, func(dev *cluster.Device) error {
+		w := &worker{
+			dev: dev, cfg: &cfg, clu: clu, res: res,
+			lg:        dep.Locals[dev.Rank()],
+			task:      ds.Task,
+			denom:     denom,
+			posWeight: posWeight,
+			sancus:    sancus,
+		}
+		w.ld = shardData(ds, w.lg)
+		w.model = newDeviceModel(&cfg, w.lg, ds.Features.Cols, ds.NumClasses, dev.Model())
+		w.opt = nn.NewAdam(cfg.LR)
+		if quantizedMethod(cfg.Method) {
+			w.assign = newAssignState(&cfg, w.lg, ds.Features.Cols)
+		}
+		return w.run()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, c := range clu.Clocks() {
+		res.PerDevice = append(res.PerDevice, metrics.FromClock(c))
+	}
+	res.WallClock = timing.MaxSeconds(clu.Clocks())
+	for _, b := range res.PerDevice {
+		if b.Assign > res.AssignTime {
+			res.AssignTime = b.Assign
+		}
+	}
+	res.BytesMoved = clu.BytesMoved()
+	return res, nil
+}
+
+func quantizedMethod(m Method) bool {
+	return m == AdaQP || m == AdaQPUniform || m == AdaQPRandom
+}
+
+// worker is the per-device training state.
+type worker struct {
+	dev       *cluster.Device
+	cfg       *Config
+	clu       *cluster.Cluster
+	res       *metrics.RunResult
+	lg        *partition.LocalGraph
+	ld        *localData
+	model     *deviceModel
+	opt       *nn.Adam
+	task      synthetic.Task
+	denom     float64
+	posWeight float64
+	assign    *assignState
+
+	// PipeGCN staleness buffers: per layer, last received halo block and
+	// last received remote gradient contribution.
+	pipeHalo []*tensor.Matrix
+	pipeGrad []*tensor.Matrix
+
+	// SANCUS state.
+	sancus      *sancusTopology
+	sancusCache []*tensor.Matrix // per layer: cached halo rows
+	sancusLast  []*tensor.Matrix // per layer: my boundary rows at last broadcast
+	sancusAge   []int
+}
+
+func (w *worker) run() error {
+	cfg := w.cfg
+	L := cfg.Layers
+	switch cfg.Method {
+	case PipeGCN:
+		w.pipeHalo = make([]*tensor.Matrix, L)
+		w.pipeGrad = make([]*tensor.Matrix, L)
+	case SANCUS:
+		w.sancusCache = make([]*tensor.Matrix, L)
+		w.sancusLast = make([]*tensor.Matrix, L)
+		w.sancusAge = make([]int, L)
+	case AdaQPUniform:
+		w.assign.installUniformWidths(cfg.UniformBits)
+	case AdaQPRandom:
+		w.assign.installRandomWidths(cfg.Seed, 0, w.dev.Size(), w.dev.Rank())
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		loss, err := w.trainEpoch(epoch)
+		if err != nil {
+			return fmt.Errorf("rank %d epoch %d: %w", w.dev.Rank(), epoch, err)
+		}
+		// AdaQP: re-solve the bi-objective problem at the period boundary
+		// using the traces collected this epoch.
+		if cfg.Method == AdaQP && w.isTracingEpoch(epoch) {
+			if err := runAssignment(w.dev, cfg, w.assign); err != nil {
+				return err
+			}
+		}
+		if cfg.Method == AdaQPRandom && epoch > 0 && epoch%cfg.ReassignPeriod == 0 {
+			w.assign.installRandomWidths(cfg.Seed, epoch/cfg.ReassignPeriod, w.dev.Size(), w.dev.Rank())
+		}
+
+		valAcc := math.NaN()
+		if cfg.EvalEvery > 0 && (epoch%cfg.EvalEvery == 0 || epoch == cfg.Epochs-1) {
+			var err error
+			valAcc, err = w.evaluate(w.ld.val)
+			if err != nil {
+				return err
+			}
+		}
+		w.dev.Barrier()
+		if w.dev.Rank() == 0 {
+			w.res.Epochs = append(w.res.Epochs, metrics.EpochStat{
+				Epoch: epoch, Loss: loss, ValAcc: valAcc,
+				SimTime: w.dev.Clock().Now(),
+			})
+		}
+	}
+	// Final metrics.
+	test, err := w.evaluate(w.ld.test)
+	if err != nil {
+		return err
+	}
+	val, err := w.evaluate(w.ld.val)
+	if err != nil {
+		return err
+	}
+	if w.dev.Rank() == 0 {
+		w.res.FinalTest = test
+		w.res.FinalVal = val
+	}
+	return nil
+}
+
+// isTracingEpoch reports whether this epoch's messages were traced for the
+// assigner: the bootstrap epoch 0 (run at full precision) and the last
+// epoch of each re-assignment period.
+func (w *worker) isTracingEpoch(epoch int) bool {
+	if epoch == 0 {
+		return true
+	}
+	return (epoch+1)%w.cfg.ReassignPeriod == 0
+}
+
+// trainEpoch runs one synchronous training epoch and returns the global
+// training loss.
+func (w *worker) trainEpoch(epoch int) (float64, error) {
+	w.model.zeroGrads()
+	logits, err := w.forward(epoch, true)
+	if err != nil {
+		return 0, err
+	}
+	var loss float64
+	var dlogits *tensor.Matrix
+	if w.task == synthetic.SingleLabel {
+		loss, dlogits = nn.SoftmaxCrossEntropyScaled(logits, w.ld.labels, w.ld.train, w.denom)
+	} else {
+		loss, dlogits = nn.SigmoidBCEWeighted(logits, w.ld.y, w.ld.train, w.denom, w.posWeight)
+	}
+	if err := w.backward(epoch, dlogits); err != nil {
+		return 0, err
+	}
+	// Model-gradient synchronization (small relative to messages; §1 fn.1).
+	var grads []*tensor.Matrix
+	for _, p := range w.model.params() {
+		grads = append(grads, p.Grad)
+	}
+	w.dev.AllReduceSum(grads)
+	w.opt.Step(w.model.params())
+	return w.globalSum(loss), nil
+}
+
+// forward runs the layer loop. For train=true the method-specific halo
+// exchange and timing schedule applies; eval uses the uncharged raw
+// exchange at full precision.
+func (w *worker) forward(epoch int, train bool) (*tensor.Matrix, error) {
+	cfg := w.cfg
+	h := w.ld.x
+	for l := 0; l < cfg.Layers; l++ {
+		lay := w.model.layers[l]
+		xFull := tensor.New(w.lg.NumLocal+w.lg.NumHalo, lay.inDim)
+		for i := 0; i < w.lg.NumLocal; i++ {
+			copy(xFull.Row(i), h.Row(i))
+		}
+		if !train {
+			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, true); err != nil {
+				return nil, err
+			}
+			h = lay.forward(w.lg, xFull, w.dev.RNG, false)
+			continue
+		}
+		if err := w.forwardExchange(epoch, l, h, xFull); err != nil {
+			return nil, err
+		}
+		h = lay.forward(w.lg, xFull, w.dev.RNG, true)
+	}
+	return h, nil
+}
+
+// forwardExchange fills xFull's halo rows per the method and charges the
+// simulated schedule for layer l's forward stage.
+func (w *worker) forwardExchange(epoch, l int, h, xFull *tensor.Matrix) error {
+	cfg := w.cfg
+	clock := w.dev.Clock()
+	costs := w.model.costs[l]
+	switch cfg.Method {
+	case Vanilla:
+		if err := exchangeHaloFP(w.dev, w.lg, h, xFull, false); err != nil {
+			return err
+		}
+		clock.Advance(timing.Comp, costs.fwdTotal)
+
+	case AdaQP, AdaQPUniform, AdaQPRandom:
+		if cfg.Method == AdaQP && w.isTracingEpoch(epoch) {
+			w.assign.traceForward(l, h)
+		}
+		if cfg.Method == AdaQP && epoch == 0 {
+			// Bootstrap epoch: full precision while tracing (no widths
+			// assigned yet), with the overlap schedule already active.
+			before := clock.Spent(timing.Comm)
+			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, false); err != nil {
+				return err
+			}
+			commDelta := clock.Spent(timing.Comm) - before
+			w.chargeOverlap(costs.fwdCentral, costs.fwdMarginal, commDelta)
+			return nil
+		}
+		commDelta, err := exchangeHaloQ(w.dev, w.lg, w.assign.fwdW[l], h, xFull)
+		if err != nil {
+			return err
+		}
+		w.chargeOverlap(costs.fwdCentral, costs.fwdMarginal, commDelta)
+
+	case PipeGCN:
+		if epoch == 0 {
+			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, false); err != nil {
+				return err
+			}
+			clock.Advance(timing.Comp, costs.fwdTotal)
+			w.pipeHalo[l] = xFull.RowSlice(w.lg.NumLocal, xFull.Rows)
+			return nil
+		}
+		// Use last epoch's halo block (1-epoch staleness) while the fresh
+		// exchange overlaps with this epoch's computation.
+		stale := w.pipeHalo[l]
+		for i := 0; i < w.lg.NumHalo; i++ {
+			copy(xFull.Row(w.lg.NumLocal+i), stale.Row(i))
+		}
+		fresh := tensor.New(xFull.Rows, xFull.Cols)
+		before := clock.Spent(timing.Comm)
+		if err := exchangeHaloFP(w.dev, w.lg, h, fresh, false); err != nil {
+			return err
+		}
+		commDelta := clock.Spent(timing.Comm) - before
+		w.pipeHalo[l] = fresh.RowSlice(w.lg.NumLocal, fresh.Rows)
+		if costs.fwdTotal > commDelta {
+			clock.Advance(timing.Comp, costs.fwdTotal-commDelta)
+		}
+
+	case SANCUS:
+		if err := w.sancusExchange(epoch, l, h, xFull); err != nil {
+			return err
+		}
+		clock.Advance(timing.Comp, costs.fwdTotal)
+
+	default:
+		return fmt.Errorf("core: unsupported method %v", cfg.Method)
+	}
+	return nil
+}
+
+// chargeOverlap implements the Fig. 7 schedule: central-graph computation
+// runs concurrently with marginal-graph communication (whose commDelta was
+// already charged by the collective), then marginal computation follows.
+func (w *worker) chargeOverlap(central, marginal, commDelta timing.Seconds) {
+	clock := w.dev.Clock()
+	if central > commDelta {
+		clock.Advance(timing.Comp, central-commDelta)
+	}
+	clock.Advance(timing.Comp, marginal)
+}
+
+// backward runs the reverse layer loop with method-specific gradient
+// exchange.
+func (w *worker) backward(epoch int, dlogits *tensor.Matrix) error {
+	cfg := w.cfg
+	clock := w.dev.Clock()
+	d := dlogits
+	for l := cfg.Layers - 1; l >= 0; l-- {
+		lay := w.model.layers[l]
+		costs := w.model.costs[l]
+		needInput := l > 0
+		dxFull := lay.backward(w.lg, d, needInput)
+		if !needInput {
+			clock.Advance(timing.Comp, costs.bwdTotal)
+			return nil
+		}
+		dxLocal := dxFull.RowSlice(0, w.lg.NumLocal)
+
+		switch cfg.Method {
+		case Vanilla:
+			clock.Advance(timing.Comp, costs.bwdTotal)
+			if err := exchangeGradFP(w.dev, w.lg, dxFull, dxLocal); err != nil {
+				return err
+			}
+
+		case AdaQP, AdaQPUniform, AdaQPRandom:
+			if cfg.Method == AdaQP && w.isTracingEpoch(epoch) {
+				w.assign.traceBackward(l, dxFull)
+			}
+			clock.Advance(timing.Comp, costs.bwdMarginal)
+			if cfg.Method == AdaQP && epoch == 0 {
+				before := clock.Spent(timing.Comm)
+				if err := exchangeGradFP(w.dev, w.lg, dxFull, dxLocal); err != nil {
+					return err
+				}
+				commDelta := clock.Spent(timing.Comm) - before
+				if costs.bwdCentral > commDelta {
+					clock.Advance(timing.Comp, costs.bwdCentral-commDelta)
+				}
+			} else {
+				commDelta, err := exchangeGradQ(w.dev, w.lg, w.assign.bwdW[l], dxFull, dxLocal)
+				if err != nil {
+					return err
+				}
+				if costs.bwdCentral > commDelta {
+					clock.Advance(timing.Comp, costs.bwdCentral-commDelta)
+				}
+			}
+
+		case PipeGCN:
+			if epoch == 0 {
+				clock.Advance(timing.Comp, costs.bwdTotal)
+				remote := tensor.New(w.lg.NumLocal, dxLocal.Cols)
+				if err := exchangeGradFP(w.dev, w.lg, dxFull, remote); err != nil {
+					return err
+				}
+				dxLocal.AddInPlace(remote)
+				w.pipeGrad[l] = remote
+			} else {
+				// Apply last epoch's remote gradients; ship fresh ones
+				// overlapped with computation.
+				dxLocal.AddInPlace(w.pipeGrad[l])
+				remote := tensor.New(w.lg.NumLocal, dxLocal.Cols)
+				before := clock.Spent(timing.Comm)
+				if err := exchangeGradFP(w.dev, w.lg, dxFull, remote); err != nil {
+					return err
+				}
+				commDelta := clock.Spent(timing.Comm) - before
+				w.pipeGrad[l] = remote
+				if costs.bwdTotal > commDelta {
+					clock.Advance(timing.Comp, costs.bwdTotal-commDelta)
+				}
+			}
+
+		case SANCUS:
+			// Communication-avoiding: historical remote embeddings are
+			// treated as constants, so no error messages are sent back.
+			clock.Advance(timing.Comp, costs.bwdTotal)
+		}
+		d = dxLocal
+	}
+	return nil
+}
+
+// globalSum sums a scalar across devices over the metrics sideband.
+func (w *worker) globalSum(x float64) float64 {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	all := w.dev.RawAllGather(buf)
+	var sum float64
+	for _, b := range all {
+		sum += math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	return sum
+}
+
+// evaluate computes accuracy (single-label) or micro-F1 (multi-label) over
+// the masked local rows, aggregated globally. Uncharged (metrics sideband).
+func (w *worker) evaluate(mask []bool) (float64, error) {
+	logits, err := w.forward(-1, false)
+	if err != nil {
+		return 0, err
+	}
+	var counts [3]float64
+	if w.task == synthetic.SingleLabel {
+		for i := 0; i < logits.Rows; i++ {
+			if !mask[i] {
+				continue
+			}
+			counts[1]++
+			if logits.ArgMaxRow(i) == w.ld.labels[i] {
+				counts[0]++
+			}
+		}
+	} else {
+		for i := 0; i < logits.Rows; i++ {
+			if !mask[i] {
+				continue
+			}
+			lrow := logits.Row(i)
+			trow := w.ld.y.Row(i)
+			for j, z := range lrow {
+				pred, actual := z > 0, trow[j] > 0.5
+				switch {
+				case pred && actual:
+					counts[0]++ // tp
+				case pred && !actual:
+					counts[1]++ // fp
+				case !pred && actual:
+					counts[2]++ // fn
+				}
+			}
+		}
+	}
+	buf := make([]byte, 24)
+	for i, c := range counts {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(c))
+	}
+	all := w.dev.RawAllGather(buf)
+	var tot [3]float64
+	for _, b := range all {
+		for i := range tot {
+			tot[i] += math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	}
+	if w.task == synthetic.SingleLabel {
+		if tot[1] == 0 {
+			return 0, nil
+		}
+		return tot[0] / tot[1], nil
+	}
+	denom := 2*tot[0] + tot[1] + tot[2]
+	if denom == 0 {
+		return 0, nil
+	}
+	return 2 * tot[0] / denom, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/synthetic"
+)
+
+// smoke is an ultra-reduced profile so each experiment finishes in well
+// under a second while still executing its full code path.
+var smoke = Profile{
+	Name: "smoke", Scale: 0.05, FeatureCap: 24, Hidden: 16,
+	EpochsLong: 3, EpochsShort: 2, Runs: 1, EvalEvery: 2,
+}
+
+func smokeOptions() (Options, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return Options{Profile: smoke, Out: &buf}, &buf
+}
+
+func TestTable1Smoke(t *testing.T) {
+	o, buf := smokeOptions()
+	if err := Table1(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "reddit-sim", "2M-2D", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Smoke(t *testing.T) {
+	o, buf := smokeOptions()
+	if err := Figure2(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "imbalance") {
+		t.Fatalf("figure 2 should report imbalance:\n%s", buf.String())
+	}
+}
+
+func TestTable6Smoke(t *testing.T) {
+	o, buf := smokeOptions()
+	if err := Table6(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Uniform") || !strings.Contains(out, "Adaptive") {
+		t.Fatalf("table 6 incomplete:\n%s", out)
+	}
+}
+
+func TestFigure9Smoke(t *testing.T) {
+	o, buf := smokeOptions()
+	if err := Figure9And12(o, []string{"products-sim"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"method,epoch,val_acc", "Vanilla,0,", "AdaQP,0,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("curves missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadDatasetFeatureCap(t *testing.T) {
+	ds, err := smoke.loadDataset("yelp-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features.Cols != smoke.FeatureCap {
+		t.Fatalf("feature cap not applied: %d cols", ds.Features.Cols)
+	}
+}
+
+func TestModelForScales(t *testing.T) {
+	o, _ := smokeOptions()
+	ds, err := smoke.loadDataset("products-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := o.modelFor(ds)
+	def := o.modelFor(&synthetic.Dataset{Name: "not-registered"})
+	if m.Bandwidth >= def.Bandwidth || m.DenseFLOPS >= def.DenseFLOPS {
+		t.Fatal("scaled model should be slower than default")
+	}
+	// Latency is scale-free.
+	if m.Latency != def.Latency {
+		t.Fatal("latency must not scale")
+	}
+	factor := def.Bandwidth / m.Bandwidth
+	want := realNodeCounts["products-sim"] / float64(ds.NumNodes())
+	if diff := factor - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("scale factor %v, want %v", factor, want)
+	}
+}
+
+func TestSettingsFor(t *testing.T) {
+	if s := settingsFor("reddit-sim"); s[0].Parts != 2 || s[1].Parts != 4 {
+		t.Fatalf("reddit settings %v", s)
+	}
+	if s := settingsFor("amazon-sim"); s[0].Parts != 4 || s[1].Parts != 8 {
+		t.Fatalf("amazon settings %v", s)
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics collects the measurements the paper reports: convergence
+// curves (epoch → validation accuracy), per-epoch time breakdowns
+// (communication / computation / quantization, Fig. 10a), wall-clock
+// decomposition (training vs bit-width assignment, Fig. 10b), throughput
+// and summary statistics over repeated runs (Table 4's mean ± std).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/timing"
+)
+
+// EpochStat is one epoch's record.
+type EpochStat struct {
+	Epoch   int
+	Loss    float64
+	ValAcc  float64 // NaN when evaluation was skipped this epoch
+	SimTime timing.Seconds
+}
+
+// Breakdown aggregates simulated time by category across one run.
+type Breakdown struct {
+	Comm, Comp, Quant, Idle, Assign timing.Seconds
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() timing.Seconds {
+	return b.Comm + b.Comp + b.Quant + b.Idle + b.Assign
+}
+
+// FromClock extracts a Breakdown from a device clock.
+func FromClock(c *timing.Clock) Breakdown {
+	return Breakdown{
+		Comm:   c.Spent(timing.Comm),
+		Comp:   c.Spent(timing.Comp),
+		Quant:  c.Spent(timing.Quant),
+		Idle:   c.Spent(timing.Idle),
+		Assign: c.Spent(timing.Assign),
+	}
+}
+
+// Add returns b + o.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Comm: b.Comm + o.Comm, Comp: b.Comp + o.Comp,
+		Quant: b.Quant + o.Quant, Idle: b.Idle + o.Idle,
+		Assign: b.Assign + o.Assign,
+	}
+}
+
+// Scale returns b × f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Comm: b.Comm * timing.Seconds(f), Comp: b.Comp * timing.Seconds(f),
+		Quant: b.Quant * timing.Seconds(f), Idle: b.Idle * timing.Seconds(f),
+		Assign: b.Assign * timing.Seconds(f),
+	}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("comm=%.4fs comp=%.4fs quant=%.4fs idle=%.4fs assign=%.4fs",
+		b.Comm, b.Comp, b.Quant, b.Idle, b.Assign)
+}
+
+// RunResult is everything one training run produced.
+type RunResult struct {
+	Dataset string
+	Model   string
+	Method  string
+	Parts   int
+
+	Epochs []EpochStat
+
+	FinalVal  float64
+	FinalTest float64
+
+	// WallClock is the simulated end-to-end training time (slowest
+	// device), including assignment overhead, excluding evaluation.
+	WallClock timing.Seconds
+	// AssignTime is the portion of WallClock spent in bit-width
+	// assignment (Fig. 10b's "Assign").
+	AssignTime timing.Seconds
+	// PerDevice holds each device's breakdown.
+	PerDevice []Breakdown
+	// BytesMoved[src][dst] counts payload bytes over the run.
+	BytesMoved [][]int64
+}
+
+// Throughput returns steady-state epochs per simulated second, excluding
+// the periodic bit-width assignment stalls (which the paper reports
+// separately in its wall-clock decomposition, Fig. 10b).
+func (r *RunResult) Throughput() float64 {
+	t := r.WallClock - r.AssignTime
+	if t <= 0 {
+		return 0
+	}
+	return float64(len(r.Epochs)) / float64(t)
+}
+
+// EndToEndThroughput includes assignment overhead.
+func (r *RunResult) EndToEndThroughput() float64 {
+	if r.WallClock <= 0 {
+		return 0
+	}
+	return float64(len(r.Epochs)) / float64(r.WallClock)
+}
+
+// AvgBreakdown averages the per-device breakdowns.
+func (r *RunResult) AvgBreakdown() Breakdown {
+	var sum Breakdown
+	for _, b := range r.PerDevice {
+		sum = sum.Add(b)
+	}
+	if len(r.PerDevice) == 0 {
+		return sum
+	}
+	return sum.Scale(1 / float64(len(r.PerDevice)))
+}
+
+// CommCost returns communication time ÷ total time averaged over devices —
+// Table 1's "Communication Cost". Idle (straggler wait at barriers)
+// counts toward communication, as it does when the paper divides average
+// communication time by average epoch time.
+func (r *RunResult) CommCost() float64 {
+	b := r.AvgBreakdown()
+	tot := b.Total()
+	if tot <= 0 {
+		return 0
+	}
+	return float64((b.Comm + b.Idle) / tot)
+}
+
+// PerEpoch returns the average per-epoch breakdown.
+func (r *RunResult) PerEpoch() Breakdown {
+	if len(r.Epochs) == 0 {
+		return Breakdown{}
+	}
+	return r.AvgBreakdown().Scale(1 / float64(len(r.Epochs)))
+}
+
+// Curve returns (epochs, val accuracies) for plotting, skipping epochs
+// where evaluation did not run.
+func (r *RunResult) Curve() (xs []int, ys []float64) {
+	for _, e := range r.Epochs {
+		if !math.IsNaN(e.ValAcc) {
+			xs = append(xs, e.Epoch)
+			ys = append(ys, e.ValAcc)
+		}
+	}
+	return xs, ys
+}
+
+// Summary holds mean ± std over repeated runs (Table 4 reports 3 runs).
+type Summary struct {
+	MeanAcc, StdAcc float64
+	MeanThroughput  float64
+	MeanWallClock   timing.Seconds
+	Runs            int
+}
+
+// Summarize aggregates repeated runs of the same configuration.
+func Summarize(runs []*RunResult) Summary {
+	s := Summary{Runs: len(runs)}
+	if len(runs) == 0 {
+		return s
+	}
+	var accs []float64
+	for _, r := range runs {
+		accs = append(accs, r.FinalTest)
+		s.MeanThroughput += r.Throughput()
+		s.MeanWallClock += r.WallClock
+	}
+	s.MeanThroughput /= float64(len(runs))
+	s.MeanWallClock /= timing.Seconds(len(runs))
+	s.MeanAcc, s.StdAcc = MeanStd(accs)
+	return s
+}
+
+// MeanStd returns the mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// EpochsToReach returns the first epoch whose recorded validation accuracy
+// reaches target, or -1.
+func (r *RunResult) EpochsToReach(target float64) int {
+	for _, e := range r.Epochs {
+		if !math.IsNaN(e.ValAcc) && e.ValAcc >= target {
+			return e.Epoch
+		}
+	}
+	return -1
+}
+
+// BestVal returns the best recorded validation accuracy.
+func (r *RunResult) BestVal() float64 {
+	best := 0.0
+	for _, e := range r.Epochs {
+		if !math.IsNaN(e.ValAcc) && e.ValAcc > best {
+			best = e.ValAcc
+		}
+	}
+	return best
+}
+
+// PairVolumes flattens BytesMoved into sorted "src_dst" → bytes entries
+// (Fig. 2's per-device-pair data sizes).
+func (r *RunResult) PairVolumes() []PairVolume {
+	var out []PairVolume
+	for s := range r.BytesMoved {
+		for d, b := range r.BytesMoved[s] {
+			if s != d && b > 0 {
+				out = append(out, PairVolume{Src: s, Dst: d, Bytes: b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// PairVolume is one device pair's transferred byte count.
+type PairVolume struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+func (p PairVolume) String() string {
+	return fmt.Sprintf("%d_%d: %.2f MB", p.Src, p.Dst, float64(p.Bytes)/1e6)
+}

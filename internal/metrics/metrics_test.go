@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestBreakdownFromClock(t *testing.T) {
+	c := timing.NewClock()
+	c.Advance(timing.Comm, 2)
+	c.Advance(timing.Comp, 3)
+	c.Advance(timing.Quant, 0.5)
+	b := FromClock(c)
+	if b.Comm != 2 || b.Comp != 3 || b.Quant != 0.5 || b.Idle != 0 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.Total() != 5.5 {
+		t.Fatalf("total %v", b.Total())
+	}
+}
+
+func TestBreakdownAddScale(t *testing.T) {
+	a := Breakdown{Comm: 1, Comp: 2}
+	b := Breakdown{Comm: 3, Quant: 4}
+	s := a.Add(b)
+	if s.Comm != 4 || s.Comp != 2 || s.Quant != 4 {
+		t.Fatalf("add %+v", s)
+	}
+	h := s.Scale(0.5)
+	if h.Comm != 2 || h.Comp != 1 || h.Quant != 2 {
+		t.Fatalf("scale %+v", h)
+	}
+}
+
+func result() *RunResult {
+	return &RunResult{
+		Epochs: []EpochStat{
+			{Epoch: 0, Loss: 2, ValAcc: 0.5, SimTime: 1},
+			{Epoch: 1, Loss: 1, ValAcc: math.NaN(), SimTime: 2},
+			{Epoch: 2, Loss: 0.5, ValAcc: 0.8, SimTime: 3},
+		},
+		FinalTest:  0.75,
+		WallClock:  10,
+		AssignTime: 2,
+		PerDevice: []Breakdown{
+			{Comm: 4, Comp: 2, Idle: 1},
+			{Comm: 6, Comp: 2, Idle: 3},
+		},
+	}
+}
+
+func TestThroughputExcludesAssign(t *testing.T) {
+	r := result()
+	if got := r.Throughput(); math.Abs(got-3.0/8.0) > 1e-12 {
+		t.Fatalf("throughput %v", got)
+	}
+	if got := r.EndToEndThroughput(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("end-to-end %v", got)
+	}
+}
+
+func TestAvgBreakdownAndCommCost(t *testing.T) {
+	r := result()
+	avg := r.AvgBreakdown()
+	if avg.Comm != 5 || avg.Comp != 2 || avg.Idle != 2 {
+		t.Fatalf("avg %+v", avg)
+	}
+	// comm+idle / total = 7/9
+	if got := r.CommCost(); math.Abs(got-7.0/9.0) > 1e-12 {
+		t.Fatalf("comm cost %v", got)
+	}
+}
+
+func TestCurveSkipsNaN(t *testing.T) {
+	xs, ys := result().Curve()
+	if len(xs) != 2 || xs[1] != 2 || ys[1] != 0.8 {
+		t.Fatalf("curve %v %v", xs, ys)
+	}
+}
+
+func TestEpochsToReach(t *testing.T) {
+	r := result()
+	if r.EpochsToReach(0.7) != 2 {
+		t.Fatal("EpochsToReach")
+	}
+	if r.EpochsToReach(0.99) != -1 {
+		t.Fatal("unreachable target should give -1")
+	}
+	if r.BestVal() != 0.8 {
+		t.Fatal("BestVal")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a, b := result(), result()
+	b.FinalTest = 0.85
+	s := Summarize([]*RunResult{a, b})
+	if s.Runs != 2 {
+		t.Fatal("runs")
+	}
+	if math.Abs(s.MeanAcc-0.8) > 1e-12 || math.Abs(s.StdAcc-0.05) > 1e-12 {
+		t.Fatalf("mean/std %v %v", s.MeanAcc, s.StdAcc)
+	}
+	if Summarize(nil).Runs != 0 {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{1, 2, 3})
+	if m != 2 || math.Abs(s-math.Sqrt(2.0/3.0)) > 1e-12 {
+		t.Fatalf("mean %v std %v", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty MeanStd")
+	}
+}
+
+func TestPairVolumes(t *testing.T) {
+	r := result()
+	r.BytesMoved = [][]int64{{0, 100}, {200, 0}}
+	pv := r.PairVolumes()
+	if len(pv) != 2 || pv[0].Src != 0 || pv[0].Bytes != 100 || pv[1].Bytes != 200 {
+		t.Fatalf("pair volumes %v", pv)
+	}
+	if pv[0].String() == "" {
+		t.Fatal("stringer empty")
+	}
+}

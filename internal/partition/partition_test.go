@@ -1,0 +1,255 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/synthetic"
+	"repro/internal/tensor"
+)
+
+func ringGraph(n int) *graph.CSR {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		edges = append(edges, graph.Edge{Src: int32(i), Dst: int32(j)}, graph.Edge{Src: int32(j), Dst: int32(i)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	g := ringGraph(30)
+	for _, s := range []Strategy{LDG, Hash, Block} {
+		a := Partition(g, 4, s)
+		if len(a.Of) != 30 {
+			t.Fatalf("%v: assignment length %d", s, len(a.Of))
+		}
+		for i, p := range a.Of {
+			if p < 0 || int(p) >= 4 {
+				t.Fatalf("%v: node %d assigned to %d", s, i, p)
+			}
+		}
+		sizes := a.Sizes()
+		total := 0
+		for _, sz := range sizes {
+			total += sz
+		}
+		if total != 30 {
+			t.Fatalf("%v: sizes sum %d", s, total)
+		}
+	}
+}
+
+func TestLDGBalance(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	a := Partition(ds.Graph, 4, LDG)
+	if imb := a.Imbalance(); imb > 0.15 {
+		t.Fatalf("LDG imbalance %v too high", imb)
+	}
+}
+
+func TestLDGBeatsHashOnCommunityGraph(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	ldg := Partition(ds.Graph, 4, LDG).EdgeCut(ds.Graph)
+	hash := Partition(ds.Graph, 4, Hash).EdgeCut(ds.Graph)
+	if ldg >= hash {
+		t.Fatalf("LDG cut %d should beat hash cut %d on a community graph", ldg, hash)
+	}
+	t.Logf("edge cut: ldg=%d hash=%d total=%d", ldg, hash, ds.Graph.NumEdges())
+}
+
+func TestEdgeCutRing(t *testing.T) {
+	g := ringGraph(8)
+	a := Partition(g, 2, Block) // blocks 0-3 and 4-7 cut exactly 2 undirected edges
+	if cut := a.EdgeCut(g); cut != 4 {
+		t.Fatalf("ring block cut %d, want 4 directed edges", cut)
+	}
+}
+
+func TestBuildLocalGraphInvariants(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	g := ds.Graph.WithSelfLoops()
+	a := Partition(g, 3, LDG)
+	g2 := &graph.CSR{N: g.N, Cols: g.Cols, RowPtr: g.RowPtr, ColIdx: g.ColIdx}
+	lgs := Build(g2, a, graph.NormSym)
+	WireSendSets(lgs)
+
+	totalLocal := 0
+	for p, lg := range lgs {
+		totalLocal += lg.NumLocal
+		if lg.Part != p {
+			t.Fatalf("part id mismatch")
+		}
+		// Every local node maps back to its global id's partition.
+		for _, gid := range lg.GlobalID {
+			if a.Of[gid] != int32(p) {
+				t.Fatalf("node %d in wrong partition", gid)
+			}
+		}
+		// Halo owners are never self.
+		for s, owner := range lg.HaloOwner {
+			if owner == int32(p) {
+				t.Fatalf("halo slot %d owned by self", s)
+			}
+		}
+		// RecvFrom slots partition the halo exactly.
+		seen := make([]bool, lg.NumHalo)
+		for _, slots := range lg.RecvFrom {
+			for _, s := range slots {
+				if seen[s] {
+					t.Fatalf("halo slot %d duplicated", s)
+				}
+				seen[s] = true
+			}
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("halo slot %d not covered by RecvFrom", s)
+			}
+		}
+		// Central ∪ Marginal == local nodes, disjoint.
+		if len(lg.CentralRows)+len(lg.MarginalRows) != lg.NumLocal {
+			t.Fatal("central/marginal decomposition incomplete")
+		}
+		// Marginal nodes have ≥1 halo neighbor; central nodes none.
+		for i := 0; i < lg.NumLocal; i++ {
+			hasRemote := false
+			for _, v := range lg.Adj.Neighbors(i) {
+				if int(v) >= lg.NumLocal {
+					hasRemote = true
+				}
+			}
+			if hasRemote != lg.Marginal[i] {
+				t.Fatalf("node %d marginal flag %v but hasRemote %v", i, lg.Marginal[i], hasRemote)
+			}
+		}
+	}
+	if totalLocal != g.N {
+		t.Fatalf("local nodes sum %d != %d", totalLocal, g.N)
+	}
+}
+
+func TestWireSendSetsMatchRecv(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	g := ds.Graph.WithSelfLoops()
+	a := Partition(g, 4, LDG)
+	lgs := Build(g, a, graph.NormSym)
+	WireSendSets(lgs)
+	for q, lq := range lgs {
+		for p := range lgs {
+			if p == q {
+				continue
+			}
+			send := lgs[p].SendTo[q]
+			recv := lq.RecvFrom[p]
+			if len(send) != len(recv) {
+				t.Fatalf("pair %d→%d: send %d recv %d", p, q, len(send), len(recv))
+			}
+			for j := range send {
+				gidSent := lgs[p].GlobalID[send[j]]
+				gidWanted := lq.HaloGlobalID[recv[j]]
+				if gidSent != gidWanted {
+					t.Fatalf("pair %d→%d slot %d: sent %d, wanted %d", p, q, j, gidSent, gidWanted)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedSpMMMatchesGlobal: aggregating locally over the partitioned
+// graph with halo rows filled must reproduce the global aggregation exactly
+// — the invariant the whole distributed forward pass rests on.
+func TestDistributedSpMMMatchesGlobal(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	g := ds.Graph.WithSelfLoops()
+	gw := &graph.CSR{N: g.N, Cols: g.Cols, RowPtr: g.RowPtr, ColIdx: g.ColIdx}
+	gw.NormalizeWeights(graph.NormSym)
+
+	rng := tensor.NewRNG(42)
+	x := tensor.New(g.N, 8)
+	x.FillUniform(rng, -1, 1)
+	want := tensor.New(g.N, 8)
+	gw.SpMM(want, x)
+
+	a := Partition(g, 3, LDG)
+	lgs := Build(g, a, graph.NormSym)
+	WireSendSets(lgs)
+	for _, lg := range lgs {
+		xFull := tensor.New(lg.NumLocal+lg.NumHalo, 8)
+		for i, gid := range lg.GlobalID {
+			copy(xFull.Row(i), x.Row(int(gid)))
+		}
+		for s, gid := range lg.HaloGlobalID {
+			copy(xFull.Row(lg.NumLocal+s), x.Row(int(gid)))
+		}
+		out := tensor.New(lg.NumLocal, 8)
+		lg.Adj.SpMM(out, xFull)
+		for i, gid := range lg.GlobalID {
+			for j := 0; j < 8; j++ {
+				if d := out.At(i, j) - want.At(int(gid), j); d > 1e-5 || d < -1e-5 {
+					t.Fatalf("node %d col %d: local %v global %v", gid, j, out.At(i, j), want.At(int(gid), j))
+				}
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	g := ds.Graph
+	a := Partition(g, 4, LDG)
+	lgs := Build(g, a, graph.NormNone)
+	WireSendSets(lgs)
+	s := ComputeStats(g, a, lgs)
+	if s.Parts != 4 || len(s.HaloPerPart) != 4 {
+		t.Fatal("stats shape")
+	}
+	if s.RemoteNeighborAvg <= 0 || s.MarginalFraction <= 0 || s.MarginalFraction > 1 {
+		t.Fatalf("odd stats: %+v", s)
+	}
+}
+
+func TestPartitionSinglePart(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", 1)
+	a := Partition(ds.Graph, 1, LDG)
+	lgs := Build(ds.Graph, a, graph.NormNone)
+	WireSendSets(lgs)
+	if lgs[0].NumHalo != 0 || lgs[0].NumMarginal() != 0 {
+		t.Fatal("single partition must have no halo / marginal nodes")
+	}
+}
+
+func TestPartitionPropertyEveryNodeOnce(t *testing.T) {
+	err := quick.Check(func(seed uint64, partsRaw uint8) bool {
+		rng := tensor.NewRNG(seed)
+		n := 10 + rng.Intn(100)
+		parts := 1 + int(partsRaw%6)
+		var edges []graph.Edge
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			edges = append(edges, graph.Edge{Src: int32(u), Dst: int32(v)}, graph.Edge{Src: int32(v), Dst: int32(u)})
+		}
+		g := graph.FromEdges(n, edges)
+		a := Partition(g, parts, LDG)
+		lgs := Build(g, a, graph.NormNone)
+		seen := map[int32]int{}
+		for _, lg := range lgs {
+			for _, gid := range lg.GlobalID {
+				seen[gid]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Mixed-bit-width streams. The adaptive assigner gives every message (row)
+// its own bit-width; to ship them in one buffer the sender groups rows by
+// width, quantizes each group at its single width, and concatenates the
+// groups (paper §5, "Implementation"). Both sides hold the same width
+// assignment (the master assigner scatters it), so the layout
+//
+//	[8-bit group][4-bit group][2-bit group]
+//
+// with rows in wire order *within* each group is self-describing given the
+// widths slice — this plays the role of the paper's "bit-retrieval index".
+
+// MixedSize returns the exact wire size for rows whose widths are given
+// (dim columns each).
+func MixedSize(widths []BitWidth, dim int) int {
+	n := 0
+	for _, b := range widths {
+		n += headerBytes + b.PackedSize(dim)
+	}
+	return n
+}
+
+// groupOrder fixes the concatenation order of width groups on the wire.
+var groupOrder = []BitWidth{B8, B4, B2}
+
+// QuantizeMixed encodes row x[idx[i]] at width widths[i] for every i,
+// grouped by width in groupOrder. idx nil means rows 0..len(widths)-1.
+func QuantizeMixed(x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor.RNG) ([]byte, error) {
+	if idx != nil && len(idx) != len(widths) {
+		return nil, fmt.Errorf("quant: %d indices but %d widths", len(idx), len(widths))
+	}
+	for i, b := range widths {
+		if !b.Valid() {
+			return nil, fmt.Errorf("quant: row %d has invalid bit-width %d", i, b)
+		}
+	}
+	out := make([]byte, 0, MixedSize(widths, x.Cols))
+	for _, b := range groupOrder {
+		var rows []int32
+		for i, w := range widths {
+			if w != b {
+				continue
+			}
+			r := int32(i)
+			if idx != nil {
+				r = idx[i]
+			}
+			rows = append(rows, r)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		out = append(out, QuantizeRows(x, rows, b, rng)...)
+	}
+	return out, nil
+}
+
+// DequantizeMixed decodes a QuantizeMixed stream into dst rows dstRows[i]
+// (or rows 0..len(widths)-1 if nil), using the same widths assignment the
+// sender used.
+func DequantizeMixed(stream []byte, dst *tensor.Matrix, dstRows []int32, widths []BitWidth) error {
+	if dstRows != nil && len(dstRows) != len(widths) {
+		return fmt.Errorf("quant: %d dst rows but %d widths", len(dstRows), len(widths))
+	}
+	if want := MixedSize(widths, dst.Cols); len(stream) != want {
+		return fmt.Errorf("quant: mixed stream is %d bytes, want %d", len(stream), want)
+	}
+	off := 0
+	for _, b := range groupOrder {
+		var rows []int32
+		for i, w := range widths {
+			if w != b {
+				continue
+			}
+			r := int32(i)
+			if dstRows != nil {
+				r = dstRows[i]
+			}
+			rows = append(rows, r)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sz := WireSize(len(rows), dst.Cols, b)
+		if err := DequantizeRows(stream[off:off+sz], dst, rows, len(rows), b); err != nil {
+			return err
+		}
+		off += sz
+	}
+	return nil
+}
+
+// UniformWidths returns a widths slice assigning b to all n rows.
+func UniformWidths(n int, b BitWidth) []BitWidth {
+	w := make([]BitWidth, n)
+	for i := range w {
+		w[i] = b
+	}
+	return w
+}
+
+// RandomWidths samples each row's width uniformly from Candidates — the
+// "uniform bit-width sampling" ablation of Table 6.
+func RandomWidths(n int, rng *tensor.RNG) []BitWidth {
+	w := make([]BitWidth, n)
+	for i := range w {
+		w[i] = Candidates[rng.Intn(len(Candidates))]
+	}
+	return w
+}

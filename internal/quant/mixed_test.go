@@ -1,0 +1,122 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestMixedRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(9, 12)
+	x.FillUniform(rng, -2, 2)
+	widths := []BitWidth{B2, B8, B4, B4, B2, B8, B2, B4, B8}
+	stream, err := QuantizeMixed(x, nil, widths, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != MixedSize(widths, x.Cols) {
+		t.Fatalf("stream %d bytes, MixedSize says %d", len(stream), MixedSize(widths, x.Cols))
+	}
+	dst := tensor.New(9, 12)
+	if err := DequantizeMixed(stream, dst, nil, widths); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		mn, mx := tensor.MinMax(x.Row(i))
+		step := float64(mx-mn) / float64(widths[i].Levels())
+		for j := 0; j < 12; j++ {
+			if d := math.Abs(float64(dst.At(i, j) - x.At(i, j))); d > step+1e-6 {
+				t.Fatalf("row %d (width %d): err %v > step %v", i, widths[i], d, step)
+			}
+		}
+	}
+}
+
+func TestMixedWithIndices(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := tensor.New(20, 8)
+	x.FillUniform(rng, 0, 1)
+	srcIdx := []int32{19, 0, 7}
+	widths := []BitWidth{B8, B2, B8}
+	stream, err := QuantizeMixed(x, srcIdx, widths, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := tensor.New(5, 8)
+	dstIdx := []int32{4, 2, 0}
+	if err := DequantizeMixed(stream, dst, dstIdx, widths); err != nil {
+		t.Fatal(err)
+	}
+	// Row mapping: src 19 → dst 4 at 8-bit.
+	for j := 0; j < 8; j++ {
+		if d := math.Abs(float64(dst.At(4, j) - x.At(19, j))); d > 1.0/255+1e-5 {
+			t.Fatalf("mapped row mismatch: %v", d)
+		}
+	}
+}
+
+func TestMixedRejectsBadWidth(t *testing.T) {
+	x := tensor.New(1, 4)
+	if _, err := QuantizeMixed(x, nil, []BitWidth{3}, tensor.NewRNG(1)); err == nil {
+		t.Fatal("expected invalid-width error")
+	}
+}
+
+func TestMixedRejectsLengthMismatch(t *testing.T) {
+	x := tensor.New(2, 4)
+	if _, err := QuantizeMixed(x, []int32{0}, []BitWidth{B2, B2}, tensor.NewRNG(1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	dst := tensor.New(2, 4)
+	if err := DequantizeMixed(nil, dst, []int32{0}, []BitWidth{B2, B2}); err == nil {
+		t.Fatal("expected dst length error")
+	}
+}
+
+func TestMixedStreamSizeMismatch(t *testing.T) {
+	dst := tensor.New(2, 4)
+	if err := DequantizeMixed(make([]byte, 1), dst, nil, []BitWidth{B2, B2}); err == nil {
+		t.Fatal("expected stream size error")
+	}
+}
+
+func TestUniformWidths(t *testing.T) {
+	ws := UniformWidths(5, B4)
+	if len(ws) != 5 {
+		t.Fatal("length")
+	}
+	for _, w := range ws {
+		if w != B4 {
+			t.Fatal("value")
+		}
+	}
+}
+
+func TestRandomWidthsValidAndVaried(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	ws := RandomWidths(300, rng)
+	seen := map[BitWidth]int{}
+	for _, w := range ws {
+		if !w.Valid() {
+			t.Fatalf("invalid width %d", w)
+		}
+		seen[w]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("300 samples should hit all 3 widths, got %v", seen)
+	}
+}
+
+func TestMixedEmptyWidths(t *testing.T) {
+	x := tensor.New(0, 4)
+	stream, err := QuantizeMixed(x, nil, nil, tensor.NewRNG(1))
+	if err != nil || len(stream) != 0 {
+		t.Fatalf("empty mixed stream: %v, %d bytes", err, len(stream))
+	}
+	dst := tensor.New(0, 4)
+	if err := DequantizeMixed(stream, dst, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package quant implements the paper's stochastic integer quantization
+// (Eqn. 4), deterministic de-quantization (Eqn. 5) and the 2/4/8-bit
+// packing of quantized messages into byte streams used on the wire
+// (following the EXACT-style merge into uint8 streams described in §5).
+//
+// Each message (one node's feature/embedding/gradient row) is quantized
+// independently with its own zero-point Z = min(h) and scale
+// S = (max(h)−min(h))/(2^b−1). Stochastic rounding makes the de-quantized
+// estimate unbiased with variance D·S²/6 (Theorem 1) — both properties are
+// verified by tests.
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BitWidth is a supported quantization precision.
+type BitWidth uint8
+
+// Candidate bit-widths B = {2, 4, 8} (paper §3.2).
+const (
+	B2 BitWidth = 2
+	B4 BitWidth = 4
+	B8 BitWidth = 8
+)
+
+// Candidates lists the optional bit-width set B in ascending order.
+var Candidates = []BitWidth{B2, B4, B8}
+
+// Valid reports whether b is one of the supported widths.
+func (b BitWidth) Valid() bool { return b == B2 || b == B4 || b == B8 }
+
+// Levels returns 2^b − 1, the number of quantization steps.
+func (b BitWidth) Levels() uint32 { return (1 << b) - 1 }
+
+// ValuesPerByte returns how many codes fit in one byte.
+func (b BitWidth) ValuesPerByte() int { return 8 / int(b) }
+
+// PackedSize returns the number of bytes needed for n codes at width b.
+func (b BitWidth) PackedSize(n int) int {
+	vp := b.ValuesPerByte()
+	return (n + vp - 1) / vp
+}
+
+// RowMeta carries the per-row affine parameters needed to de-quantize.
+type RowMeta struct {
+	Zero  float32 // Z = min(h)
+	Scale float32 // S = (max−min)/(2^b−1)
+}
+
+// headerBytes is the wire size of one RowMeta (two float32).
+const headerBytes = 8
+
+// WireSize returns the exact number of bytes QuantizeRows produces for
+// rows rows of dim columns at width b.
+func WireSize(rows, dim int, b BitWidth) int {
+	return rows * (headerBytes + b.PackedSize(dim))
+}
+
+// QuantizeRow quantizes one float32 vector into codes at width b, writing
+// packed bytes to dst (len ≥ PackedSize(len(h))) and returning the row
+// meta. rng supplies stochastic-rounding randomness.
+func QuantizeRow(h []float32, b BitWidth, dst []byte, rng *tensor.RNG) RowMeta {
+	mn, mx := tensor.MinMax(h)
+	levels := float32(b.Levels())
+	scale := (mx - mn) / levels
+	meta := RowMeta{Zero: mn, Scale: scale}
+	for i := range dst[:b.PackedSize(len(h))] {
+		dst[i] = 0
+	}
+	if scale == 0 {
+		// Constant row: all codes zero; de-quantization returns Zero.
+		return meta
+	}
+	inv := 1 / scale
+	vp := b.ValuesPerByte()
+	shift := uint(b)
+	for i, v := range h {
+		t := (v - mn) * inv
+		code := stochasticRound(t, rng)
+		if code > b.Levels() {
+			code = b.Levels()
+		}
+		byteIdx := i / vp
+		slot := uint(i%vp) * shift
+		dst[byteIdx] |= byte(code << slot)
+	}
+	return meta
+}
+
+// stochasticRound rounds t to ⌈t⌉ with probability t−⌊t⌋, else ⌊t⌋.
+func stochasticRound(t float32, rng *tensor.RNG) uint32 {
+	if t <= 0 {
+		return 0
+	}
+	fl := float32(math.Floor(float64(t)))
+	frac := t - fl
+	c := uint32(fl)
+	if rng.Float32() < frac {
+		c++
+	}
+	return c
+}
+
+// DequantizeRow recovers dim float32 values from packed codes.
+func DequantizeRow(src []byte, meta RowMeta, b BitWidth, out []float32) {
+	vp := b.ValuesPerByte()
+	mask := byte(b.Levels())
+	shift := uint(b)
+	for i := range out {
+		code := (src[i/vp] >> (uint(i%vp) * shift)) & mask
+		out[i] = float32(code)*meta.Scale + meta.Zero
+	}
+}
+
+// QuantizeRows encodes the given rows of x (selected by idx; all rows if
+// idx is nil) into a self-describing byte stream:
+//
+//	for each row: [Zero float32][Scale float32][packed codes]
+//
+// The stream layout is fixed given (rows, dim, b), so the receiver needs
+// only those three to decode.
+func QuantizeRows(x *tensor.Matrix, idx []int32, b BitWidth, rng *tensor.RNG) []byte {
+	rows := x.Rows
+	if idx != nil {
+		rows = len(idx)
+	}
+	out := make([]byte, WireSize(rows, x.Cols, b))
+	off := 0
+	packed := b.PackedSize(x.Cols)
+	for i := 0; i < rows; i++ {
+		r := i
+		if idx != nil {
+			r = int(idx[i])
+		}
+		meta := QuantizeRow(x.Row(r), b, out[off+headerBytes:off+headerBytes+packed], rng)
+		binary.LittleEndian.PutUint32(out[off:], math.Float32bits(meta.Zero))
+		binary.LittleEndian.PutUint32(out[off+4:], math.Float32bits(meta.Scale))
+		off += headerBytes + packed
+	}
+	return out
+}
+
+// DequantizeRows decodes a stream produced by QuantizeRows into dst rows
+// dstRows[i] (or rows 0..n-1 if dstRows is nil).
+func DequantizeRows(stream []byte, dst *tensor.Matrix, dstRows []int32, rows int, b BitWidth) error {
+	packed := b.PackedSize(dst.Cols)
+	want := rows * (headerBytes + packed)
+	if len(stream) != want {
+		return fmt.Errorf("quant: stream is %d bytes, want %d (rows=%d dim=%d b=%d)",
+			len(stream), want, rows, dst.Cols, b)
+	}
+	off := 0
+	for i := 0; i < rows; i++ {
+		meta := RowMeta{
+			Zero:  math.Float32frombits(binary.LittleEndian.Uint32(stream[off:])),
+			Scale: math.Float32frombits(binary.LittleEndian.Uint32(stream[off+4:])),
+		}
+		r := i
+		if dstRows != nil {
+			r = int(dstRows[i])
+		}
+		DequantizeRow(stream[off+headerBytes:off+headerBytes+packed], meta, b, dst.Row(r))
+		off += headerBytes + packed
+	}
+	return nil
+}
+
+// RowVarianceBound returns Theorem 1's variance bound D·S²/6 for one row at
+// width b.
+func RowVarianceBound(h []float32, b BitWidth) float64 {
+	mn, mx := tensor.MinMax(h)
+	s := float64(mx-mn) / float64(b.Levels())
+	return float64(len(h)) * s * s / 6
+}
+
+// FullPrecisionSize returns the bytes for rows×dim float32 (the Vanilla
+// wire size).
+func FullPrecisionSize(rows, dim int) int { return rows * dim * 4 }
+
+// CompressionRatio returns full-precision bytes ÷ quantized bytes for a
+// rows×dim block at width b.
+func CompressionRatio(rows, dim int, b BitWidth) float64 {
+	q := WireSize(rows, dim, b)
+	if q == 0 {
+		return 0
+	}
+	return float64(FullPrecisionSize(rows, dim)) / float64(q)
+}

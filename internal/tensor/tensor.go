@@ -1,0 +1,444 @@
+// Package tensor provides dense float32 matrices and the parallel numeric
+// kernels used throughout the AdaQP reproduction: blocked GEMM, transposed
+// GEMM variants, elementwise maps, row reductions and deterministic random
+// initialization.
+//
+// All matrices are row-major. Kernels split work across goroutines by row
+// blocks; results are bit-for-bit deterministic for a fixed GOMAXPROCS-free
+// partitioning because each goroutine writes a disjoint row range.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d elements for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// CopyFrom copies o's contents into m. Shapes must match.
+func (m *Matrix) CopyFrom(o *Matrix) {
+	mustSameShape("CopyFrom", m, o)
+	copy(m.Data, o.Data)
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks, one per
+// worker. fn must only touch its own row range.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows < 64 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a × b (shapes m×k and k×n).
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a × b, overwriting out.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	n := b.Cols
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] = 0
+			}
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			// ikj loop order: stream through b rows for cache locality.
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				axpy(orow, brow, av)
+			}
+		}
+	})
+}
+
+// axpy computes dst += alpha * src with 4-way unrolling.
+func axpy(dst, src []float32, alpha float32) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// MatMulT returns a × bᵀ (shapes m×k and n×k → m×n).
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	k := a.Cols
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = dot(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ × b (shapes k×m and k×n → m×n).
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	// Split over columns of a (rows of the output) so goroutines stay disjoint.
+	parallelRows(a.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for i := lo; i < hi; i++ {
+				if av := arow[i]; av != 0 {
+					axpy(out.Data[i*b.Cols:(i+1)*b.Cols], brow, av)
+				}
+			}
+		}
+	})
+	return out
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	return dot(a, b)
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("Add", a, b)
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// AddInPlace computes m += o.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	mustSameShape("AddInPlace", m, o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// SubInPlace computes m -= o.
+func (m *Matrix) SubInPlace(o *Matrix) {
+	mustSameShape("SubInPlace", m, o)
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("Sub", a, b)
+	out := a.Clone()
+	out.SubInPlace(b)
+	return out
+}
+
+// Scale multiplies every element by alpha, in place.
+func (m *Matrix) Scale(alpha float32) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AXPY computes m += alpha * o.
+func (m *Matrix) AXPY(alpha float32, o *Matrix) {
+	mustSameShape("AXPY", m, o)
+	axpy(m.Data, o.Data, alpha)
+}
+
+// Hadamard returns the elementwise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	mustSameShape("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// HadamardInPlace computes m ⊙= o.
+func (m *Matrix) HadamardInPlace(o *Matrix) {
+	mustSameShape("HadamardInPlace", m, o)
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Apply maps fn over every element, in place.
+func (m *Matrix) Apply(fn func(float32) float32) {
+	for i, v := range m.Data {
+		m.Data[i] = fn(v)
+	}
+}
+
+// Map returns a new matrix with fn applied to every element.
+func (m *Matrix) Map(fn func(float32) float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = fn(v)
+	}
+	return out
+}
+
+// RowSlice returns a new matrix holding rows [lo, hi) of m (copied).
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	out := New(hi-lo, m.Cols)
+	copy(out.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return out
+}
+
+// GatherRows returns a new matrix whose i-th row is m's row idx[i].
+func (m *Matrix) GatherRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterAddRows adds src's row i into m's row idx[i].
+func (m *Matrix) ScatterAddRows(idx []int, src *Matrix) {
+	if len(idx) != src.Rows || m.Cols != src.Cols {
+		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for i, r := range idx {
+		axpy(m.Row(r), src.Row(i), 1)
+	}
+}
+
+// ConcatCols returns [a | b] (horizontal concatenation).
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: ConcatCols row mismatch")
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SplitCols splits m into its first aCols columns and the remainder.
+func (m *Matrix) SplitCols(aCols int) (*Matrix, *Matrix) {
+	if aCols < 0 || aCols > m.Cols {
+		panic("tensor: SplitCols out of range")
+	}
+	a := New(m.Rows, aCols)
+	b := New(m.Rows, m.Cols-aCols)
+	for i := 0; i < m.Rows; i++ {
+		copy(a.Row(i), m.Row(i)[:aCols])
+		copy(b.Row(i), m.Row(i)[aCols:])
+	}
+	return a, b
+}
+
+// Sum returns the sum of all elements (accumulated in float64).
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// FrobeniusNorm returns sqrt(Σ x²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max |x| over all elements.
+func (m *Matrix) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// MinMax returns the minimum and maximum element of a vector.
+// Returns (0, 0) for an empty slice.
+func MinMax(v []float32) (mn, mx float32) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	mn, mx = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+// ArgMaxRow returns the column index of the largest element in row i.
+func (m *Matrix) ArgMaxRow(i int) int {
+	row := m.Row(i)
+	best, bv := 0, row[0]
+	for j := 1; j < len(row); j++ {
+		if row[j] > bv {
+			bv = row[j]
+			best = j
+		}
+	}
+	return best
+}
+
+// Equal reports elementwise equality within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i])-float64(b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCalibration(t *testing.T) {
+	m := Default()
+	if m.Bandwidth != 100e9/8 {
+		t.Fatalf("bandwidth %v", m.Bandwidth)
+	}
+	// 1 GB at 12.5 GB/s = 80 ms + latency.
+	got := float64(m.TransferTime(0, 1, 1_000_000_000))
+	want := 0.08 + m.Latency
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("transfer time %v want %v", got, want)
+	}
+}
+
+func TestTransferZeroBytesFree(t *testing.T) {
+	m := Default()
+	if m.TransferTime(0, 1, 0) != 0 {
+		t.Fatal("zero bytes should cost zero (skipped message)")
+	}
+}
+
+func TestPairThetaOverride(t *testing.T) {
+	m := Default()
+	m.PairTheta = [][]float64{{0, 1e-6}, {1e-9, 0}}
+	if m.Theta(0, 1) != 1e-6 || m.Theta(1, 0) != 1e-9 {
+		t.Fatal("pair theta override ignored")
+	}
+}
+
+func TestComputeCosts(t *testing.T) {
+	m := Default()
+	// 1000×256×256 GEMM = 131M FLOP at 8 TFLOPS ≈ 16.4 µs.
+	got := float64(m.DenseTime(1000, 256, 256))
+	want := 2.0 * 1000 * 256 * 256 / 8e12
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("dense %v want %v", got, want)
+	}
+	if m.SpMMTime(0, 100) != 0 {
+		t.Fatal("empty SpMM should be free")
+	}
+	if m.SpMMTime(1000, 64) <= 0 || m.QuantTime(1000) <= 0 || m.ElementwiseTime(1000) <= 0 {
+		t.Fatal("cost kernels must be positive")
+	}
+}
+
+func TestClockBreakdown(t *testing.T) {
+	c := NewClock()
+	c.Advance(Comm, 1)
+	c.Advance(Comp, 2)
+	c.Advance(Comm, 3)
+	if c.Now() != 6 {
+		t.Fatalf("now %v", c.Now())
+	}
+	if c.Spent(Comm) != 4 || c.Spent(Comp) != 2 || c.Spent(Quant) != 0 {
+		t.Fatalf("breakdown wrong: %v", c.Breakdown())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(Comp, 5)
+	c.AdvanceTo(Idle, 3) // in the past: no-op
+	if c.Now() != 5 || c.Spent(Idle) != 0 {
+		t.Fatal("AdvanceTo must not rewind")
+	}
+	c.AdvanceTo(Idle, 8)
+	if c.Now() != 8 || c.Spent(Idle) != 3 {
+		t.Fatalf("AdvanceTo forward failed: now=%v idle=%v", c.Now(), c.Spent(Idle))
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClock().Advance(Comm, -1)
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Quant, 2)
+	c.Reset()
+	if c.Now() != 0 || c.Spent(Quant) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMaxSeconds(t *testing.T) {
+	a, b := NewClock(), NewClock()
+	a.Advance(Comp, 1)
+	b.Advance(Comp, 4)
+	if MaxSeconds([]*Clock{a, b}) != 4 {
+		t.Fatal("MaxSeconds wrong")
+	}
+	if MaxSeconds(nil) != 0 {
+		t.Fatal("empty MaxSeconds should be 0")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for cat, want := range map[Category]string{
+		Comm: "comm", Comp: "comp", Quant: "quant", Idle: "idle", Assign: "assign",
+	} {
+		if cat.String() != want {
+			t.Fatalf("%d → %q", cat, cat.String())
+		}
+	}
+}
+
+func TestBreakdownIsCopy(t *testing.T) {
+	c := NewClock()
+	c.Advance(Comm, 1)
+	b := c.Breakdown()
+	b[Comm] = 99
+	if c.Spent(Comm) != 1 {
+		t.Fatal("Breakdown must return a copy")
+	}
+}
