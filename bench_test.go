@@ -11,13 +11,13 @@ import (
 	"testing"
 
 	"repro/internal/bitassign"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/quant"
 	"repro/internal/synthetic"
 	"repro/internal/tensor"
+	"repro/pkg/adaqp"
 )
 
 // benchProfile is a further-reduced profile so every macro benchmark
@@ -167,33 +167,57 @@ func BenchmarkLDGPartition(b *testing.B) {
 	}
 }
 
+// benchEngine builds a tiny-graph Engine through the public API; the
+// deployment is cached across iterations, so the benchmarks measure the
+// training loop, not partitioning.
+func benchEngine(b *testing.B, epochs int, opts ...adaqp.Option) *adaqp.Engine {
+	b.Helper()
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	base := []adaqp.Option{
+		adaqp.WithParts(4), adaqp.WithHidden(32),
+		adaqp.WithEpochs(epochs), adaqp.WithEvalEvery(0),
+	}
+	eng, err := adaqp.New(ds, append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Deployment() // partition outside the timed loop
+	return eng
+}
+
 func BenchmarkEpochVanilla(b *testing.B) {
-	ds := synthetic.MustLoad("tiny", 1)
-	dep := core.Deploy(ds, 4, core.GCN, partition.Block)
-	cfg := core.DefaultConfig()
-	cfg.Hidden = 32
-	cfg.Epochs = 1
-	cfg.EvalEvery = 0
+	eng := benchEngine(b, 1, adaqp.WithMethod(adaqp.Vanilla))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.TrainDeployed(dep, cfg, nil); err != nil {
+		if _, err := eng.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkEpochAdaQP(b *testing.B) {
-	ds := synthetic.MustLoad("tiny", 1)
-	dep := core.Deploy(ds, 4, core.GCN, partition.Block)
-	cfg := core.DefaultConfig()
-	cfg.Method = core.AdaQP
-	cfg.Hidden = 32
-	cfg.Epochs = 2 // bootstrap + one quantized epoch
-	cfg.EvalEvery = 0
+	// Two epochs: bootstrap + one quantized epoch.
+	eng := benchEngine(b, 2, adaqp.WithMethod(adaqp.AdaQP))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.TrainDeployed(dep, cfg, nil); err != nil {
+		if _, err := eng.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEpochCodecs measures one training epoch per registered codec
+// through the Engine API — the per-scheme cost of the codec seam itself.
+func BenchmarkEpochCodecs(b *testing.B) {
+	for _, codec := range adaqp.Codecs() {
+		b.Run(codec, func(b *testing.B) {
+			eng := benchEngine(b, 2, adaqp.WithCodec(codec))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

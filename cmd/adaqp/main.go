@@ -5,6 +5,7 @@
 //
 //	adaqp -dataset products-sim -model gcn -method adaqp -parts 4 -epochs 100
 //	adaqp -dataset yelp-sim -model sage -method pipegcn -parts 8
+//	adaqp -dataset tiny -method vanilla -codec uniform -bits 8
 package main
 
 import (
@@ -14,17 +15,16 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/quant"
-	"repro/internal/synthetic"
+	"repro/pkg/adaqp"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "tiny", "dataset name: "+strings.Join(synthetic.Names(), ", "))
+		dataset  = flag.String("dataset", "tiny", "dataset name: "+strings.Join(adaqp.DatasetNames(), ", "))
 		scale    = flag.Float64("scale", 1, "dataset scale factor")
 		model    = flag.String("model", "gcn", "gcn | sage")
 		method   = flag.String("method", "adaqp", "vanilla | adaqp | uniform | random | pipegcn | sancus")
+		codec    = flag.String("codec", "", "message codec override: "+strings.Join(adaqp.Codecs(), ", "))
 		parts    = flag.Int("parts", 4, "number of devices")
 		epochs   = flag.Int("epochs", 100, "training epochs")
 		hidden   = flag.Int("hidden", 256, "hidden dimension")
@@ -33,71 +33,66 @@ func main() {
 		lambda   = flag.Float64("lambda", 0.5, "variance/time trade-off λ ∈ [0,1]")
 		group    = flag.Int("group", 100, "message group size")
 		period   = flag.Int("period", 50, "bit-width re-assignment period (epochs)")
-		bits     = flag.Int("bits", 2, "uniform bit-width for -method uniform (2|4|8)")
+		bits     = flag.Int("bits", 2, "uniform bit-width for -method uniform (2|4|8|32)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		evalEach = flag.Int("eval-every", 5, "epochs between validation evaluations")
 	)
 	flag.Parse()
 
-	ds, err := synthetic.Load(*dataset, synthetic.Scale(*scale))
+	ds, err := adaqp.LoadDataset(*dataset, *scale)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.DefaultConfig()
-	cfg.Epochs = *epochs
-	cfg.Hidden = *hidden
-	cfg.LR = float32(*lr)
-	cfg.Dropout = float32(*dropout)
-	cfg.Lambda = *lambda
-	cfg.GroupSize = *group
-	cfg.ReassignPeriod = *period
-	cfg.UniformBits = 0
-	cfg.Seed = *seed
-	cfg.EvalEvery = *evalEach
-	switch strings.ToLower(*model) {
-	case "gcn":
-		cfg.Model = core.GCN
-	case "sage", "graphsage":
-		cfg.Model = core.GraphSAGE
-	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+	mk, err := adaqp.ParseModelKind(*model)
+	if err != nil {
+		fatal(err)
 	}
-	switch strings.ToLower(*method) {
-	case "vanilla":
-		cfg.Method = core.Vanilla
-	case "adaqp":
-		cfg.Method = core.AdaQP
-	case "uniform":
-		cfg.Method = core.AdaQPUniform
-		cfg.UniformBits = quant.BitWidth(*bits)
-		if !cfg.UniformBits.Valid() {
-			fatal(fmt.Errorf("bits must be 2, 4 or 8"))
-		}
-	case "random":
-		cfg.Method = core.AdaQPRandom
-	case "pipegcn":
-		cfg.Method = core.PipeGCN
-	case "sancus":
-		cfg.Method = core.SANCUS
-	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+	m, err := adaqp.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
 	}
 
+	opts := []adaqp.Option{
+		adaqp.WithModel(mk),
+		adaqp.WithMethod(m),
+		adaqp.WithParts(*parts),
+		adaqp.WithEpochs(*epochs),
+		adaqp.WithHidden(*hidden),
+		adaqp.WithLR(*lr),
+		adaqp.WithDropout(*dropout),
+		adaqp.WithLambda(*lambda),
+		adaqp.WithGroupSize(*group),
+		adaqp.WithReassignPeriod(*period),
+		adaqp.WithUniformBits(*bits),
+		adaqp.WithSeed(*seed),
+		adaqp.WithEvalEvery(*evalEach),
+		// Stream the convergence trace as epochs complete instead of
+		// post-processing RunResult internals.
+		adaqp.WithEpochCallback(func(e adaqp.EpochStat) {
+			if math.IsNaN(e.ValAcc) {
+				return
+			}
+			fmt.Printf("epoch %4d  loss %.4f  val %.4f  t=%.3fs\n", e.Epoch, e.Loss, e.ValAcc, e.SimTime)
+		}),
+	}
+	if *codec != "" {
+		opts = append(opts, adaqp.WithCodec(*codec))
+	}
+
+	eng, err := adaqp.New(ds, opts...)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("dataset %v\nmodel %v  method %v  parts %d  epochs %d\n\n",
-		ds, cfg.Model, cfg.Method, *parts, cfg.Epochs)
+		ds, mk, m, *parts, *epochs)
 
-	res, err := core.Train(ds, *parts, cfg, nil)
+	res, err := eng.Run()
 	if err != nil {
 		fatal(err)
-	}
-	for _, e := range res.Epochs {
-		if math.IsNaN(e.ValAcc) {
-			continue
-		}
-		fmt.Printf("epoch %4d  loss %.4f  val %.4f  t=%.3fs\n", e.Epoch, e.Loss, e.ValAcc, e.SimTime)
 	}
 	per := res.PerEpoch()
-	fmt.Printf("\ntest accuracy    %.4f\n", res.FinalTest)
+	fmt.Printf("\ncodec            %s\n", res.Codec)
+	fmt.Printf("test accuracy    %.4f\n", res.FinalTest)
 	fmt.Printf("throughput       %.3f epoch/s (simulated)\n", res.Throughput())
 	fmt.Printf("wall-clock       %.2fs (assign %.2fs)\n", res.WallClock, res.AssignTime)
 	fmt.Printf("per-epoch        comm %.4fs  comp %.4fs  quant %.4fs  idle %.4fs\n",

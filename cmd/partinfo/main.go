@@ -14,43 +14,53 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/partition"
-	"repro/internal/synthetic"
+	"repro/pkg/adaqp"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "products-sim", "dataset name: "+strings.Join(synthetic.Names(), ", "))
+		dataset = flag.String("dataset", "products-sim", "dataset name: "+strings.Join(adaqp.DatasetNames(), ", "))
 		scale   = flag.Float64("scale", 1, "dataset scale factor")
 		parts   = flag.Int("parts", 4, "number of partitions")
 		model   = flag.String("model", "gcn", "gcn | sage (affects self-loops)")
 	)
 	flag.Parse()
 
-	ds, err := synthetic.Load(*dataset, synthetic.Scale(*scale))
+	ds, err := adaqp.LoadDataset(*dataset, *scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "partinfo: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	mk := core.GCN
-	if strings.EqualFold(*model, "sage") {
-		mk = core.GraphSAGE
+	mk, err := adaqp.ParseModelKind(*model)
+	if err != nil {
+		fatal(err)
 	}
+	deploy := func(s adaqp.Strategy) *adaqp.Deployment {
+		eng, err := adaqp.New(ds,
+			adaqp.WithParts(*parts), adaqp.WithModel(mk), adaqp.WithPartitioner(s))
+		if err != nil {
+			fatal(err)
+		}
+		return eng.Deployment()
+	}
+
 	fmt.Printf("dataset %v, %d partitions\n\n", ds, *parts)
 	fmt.Printf("%-9s %10s %9s %10s %18s %16s\n",
 		"Strategy", "EdgeCut", "Cut%", "Imbalance", "RemoteNbrRatio", "MarginalFrac")
-	for _, s := range []partition.Strategy{partition.LDG, partition.Block, partition.Hash} {
-		dep := core.Deploy(ds, *parts, mk, s)
-		st := dep.Stats
+	for _, s := range []adaqp.Strategy{adaqp.LDG, adaqp.BlockPartition, adaqp.HashPartition} {
+		st := deploy(s).Stats
 		fmt.Printf("%-9s %10d %8.2f%% %9.3f %17.2f%% %15.2f%%\n",
 			s, st.EdgeCut, 100*float64(st.EdgeCut)/float64(st.TotalEdges),
 			st.Imbalance, 100*st.RemoteNeighborAvg, 100*st.MarginalFraction)
 	}
-	dep := core.Deploy(ds, *parts, mk, partition.LDG)
+	dep := deploy(adaqp.LDG)
 	fmt.Printf("\nper-partition (LDG):\n%-6s %8s %8s %10s\n", "part", "local", "halo", "marginal")
 	for p := range dep.Locals {
 		st := dep.Stats
 		fmt.Printf("%-6d %8d %8d %10d\n", p, st.LocalPerPart[p], st.HaloPerPart[p], st.MarginalPerPart[p])
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "partinfo: %v\n", err)
+	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 // Quickstart: train a 3-layer GCN on a small synthetic graph over 4
 // simulated devices, first with vanilla synchronous full-graph training and
-// then with AdaQP, and compare accuracy and simulated training time.
+// then with AdaQP, and compare accuracy and simulated training time — all
+// through the public pkg/adaqp Engine API.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,56 +10,56 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/partition"
-	"repro/internal/synthetic"
-	"repro/internal/timing"
+	"repro/pkg/adaqp"
 )
 
 func main() {
 	// 1. Load a dataset. The registry generates deterministic synthetic
 	// stand-ins for the paper's graphs; "tiny" is a 400-node example.
-	ds := synthetic.MustLoad("tiny", 1)
+	ds := adaqp.MustLoadDataset("tiny", 1)
 	fmt.Printf("dataset: %v\n", ds)
-
-	// 2. Partition it across 4 devices. Deploy prepares the global graph
-	// for the model (self-loops + symmetric normalization for GCN),
-	// partitions it, and builds each device's local graph with halo
-	// index sets and the central/marginal decomposition.
-	dep := core.Deploy(ds, 4, core.GCN, partition.Block)
-	fmt.Printf("partitions: %d, edge cut: %.1f%%, remote-neighbor ratio: %.1f%%\n\n",
-		dep.Assignment.Parts,
-		100*float64(dep.Stats.EdgeCut)/float64(dep.Stats.TotalEdges),
-		100*dep.Stats.RemoteNeighborAvg)
-
-	// 3. Configure training. DefaultConfig follows the paper's unified
-	// hyper-parameters; we shrink it for a fast demo.
-	cfg := core.DefaultConfig()
-	cfg.Hidden = 64
-	cfg.Epochs = 60
-	cfg.EvalEvery = 10
-	cfg.ReassignPeriod = 15
 
 	// The toy graph ships kilobytes where the paper's ship megabytes, so
 	// scale the cost model down with it (as internal/experiments does for
 	// the -sim datasets); otherwise fixed per-message overheads hide the
 	// bandwidth effects quantization targets.
-	model := timing.Default()
+	model := adaqp.DefaultCostModel()
 	model.Bandwidth /= 500
 	model.DenseFLOPS /= 500
 	model.SparseFLOPS /= 500
 	model.QuantRate /= 500
 	model.Latency = 1e-4
 
-	// 4. Train with both systems on the same partitioning.
-	for _, method := range []core.Method{core.Vanilla, core.AdaQP} {
-		cfg.Method = method
-		res, err := core.TrainDeployed(dep, cfg, model)
+	// 2. Build an Engine: it partitions the graph across the devices
+	// (self-loops + symmetric normalization for GCN, halo index sets, the
+	// central/marginal decomposition) and caches that deployment so every
+	// session below trains on the identical partitioning.
+	eng, err := adaqp.New(ds,
+		adaqp.WithParts(4),
+		adaqp.WithHidden(64),
+		adaqp.WithEpochs(60),
+		adaqp.WithEvalEvery(10),
+		adaqp.WithReassignPeriod(15),
+		adaqp.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep := eng.Deployment()
+	fmt.Printf("partitions: %d, edge cut: %.1f%%, remote-neighbor ratio: %.1f%%\n\n",
+		dep.Assignment.Parts,
+		100*float64(dep.Stats.EdgeCut)/float64(dep.Stats.TotalEdges),
+		100*dep.Stats.RemoteNeighborAvg)
+
+	// 3. Train with both systems on the same partitioning; each method
+	// resolves to its message codec (fp32 ring all2all vs adaptively
+	// quantized messages with computation–communication overlap).
+	for _, method := range []adaqp.Method{adaqp.Vanilla, adaqp.AdaQP} {
+		res, err := eng.Run(adaqp.WithMethod(method))
 		if err != nil {
 			log.Fatal(err)
 		}
 		per := res.PerEpoch()
-		fmt.Printf("%-8s test acc %.3f | %.2f epoch/s | per-epoch comm %.4fs comp %.4fs quant %.4fs\n",
-			method, res.FinalTest, res.Throughput(), per.Comm+per.Idle, per.Comp, per.Quant)
+		fmt.Printf("%-8s codec=%-8s test acc %.3f | %.2f epoch/s | per-epoch comm %.4fs comp %.4fs quant %.4fs\n",
+			method, res.Codec, res.FinalTest, res.Throughput(), per.Comm+per.Idle, per.Comp, per.Quant)
 	}
 }

@@ -18,34 +18,36 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/partition"
-	"repro/internal/synthetic"
+	"repro/pkg/adaqp"
 )
 
 func main() {
-	ds := synthetic.MustLoad("reddit-sim", 0.25)
+	ds := adaqp.MustLoadDataset("reddit-sim", 0.25)
 	fmt.Printf("dataset: %v\n\n", ds)
-	dep := core.Deploy(ds, 4, core.GraphSAGE, partition.Block)
+
+	// One Engine = one partitioning, shared by every method below.
+	eng, err := adaqp.New(ds,
+		adaqp.WithParts(4),
+		adaqp.WithModel(adaqp.GraphSAGE),
+		adaqp.WithHidden(64),
+		adaqp.WithEpochs(60),
+		adaqp.WithEvalEvery(10),
+		adaqp.WithReassignPeriod(15))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "method\ttest acc\tepoch/s\tcomm s/ep\tcomp s/ep\tquant s/ep")
 	var base float64
-	for _, method := range []core.Method{core.Vanilla, core.PipeGCN, core.SANCUS, core.AdaQP} {
-		cfg := core.DefaultConfig()
-		cfg.Model = core.GraphSAGE
-		cfg.Method = method
-		cfg.Hidden = 64
-		cfg.Epochs = 60
-		cfg.EvalEvery = 10
-		cfg.ReassignPeriod = 15
-		res, err := core.TrainDeployed(dep, cfg, nil)
+	for _, method := range []adaqp.Method{adaqp.Vanilla, adaqp.PipeGCN, adaqp.SANCUS, adaqp.AdaQP} {
+		res, err := eng.Run(adaqp.WithMethod(method))
 		if err != nil {
 			log.Fatal(err)
 		}
 		tp := res.Throughput()
 		speedup := ""
-		if method == core.Vanilla {
+		if method == adaqp.Vanilla {
 			base = tp
 		} else if base > 0 {
 			speedup = fmt.Sprintf(" (%.2fx)", tp/base)

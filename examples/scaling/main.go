@@ -11,35 +11,35 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/partition"
-	"repro/internal/synthetic"
+	"repro/pkg/adaqp"
 )
 
 func main() {
-	ds := synthetic.MustLoad("products-sim", 0.5)
+	ds := adaqp.MustLoadDataset("products-sim", 0.5)
 	fmt.Printf("dataset: %v\n\n", ds)
 	fmt.Printf("%-8s %14s %14s %10s %18s\n", "devices", "vanilla ep/s", "adaqp ep/s", "speedup", "remote-nbr ratio")
 
 	for _, parts := range []int{2, 4, 8, 16, 24} {
-		dep := core.Deploy(ds, parts, core.GraphSAGE, partition.Block)
-		tp := map[core.Method]float64{}
-		for _, m := range []core.Method{core.Vanilla, core.AdaQP} {
-			cfg := core.DefaultConfig()
-			cfg.Model = core.GraphSAGE
-			cfg.Method = m
-			cfg.Hidden = 64
-			cfg.Epochs = 10
-			cfg.EvalEvery = 0
-			cfg.ReassignPeriod = 11 // bootstrap assignment only
-			res, err := core.TrainDeployed(dep, cfg, nil)
+		eng, err := adaqp.New(ds,
+			adaqp.WithParts(parts),
+			adaqp.WithModel(adaqp.GraphSAGE),
+			adaqp.WithHidden(64),
+			adaqp.WithEpochs(10),
+			adaqp.WithEvalEvery(0),
+			adaqp.WithReassignPeriod(11)) // bootstrap assignment only
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp := map[adaqp.Method]float64{}
+		for _, m := range []adaqp.Method{adaqp.Vanilla, adaqp.AdaQP} {
+			res, err := eng.Run(adaqp.WithMethod(m))
 			if err != nil {
 				log.Fatal(err)
 			}
 			tp[m] = res.Throughput()
 		}
 		fmt.Printf("%-8d %14.3f %14.3f %9.2fx %17.1f%%\n",
-			parts, tp[core.Vanilla], tp[core.AdaQP], tp[core.AdaQP]/tp[core.Vanilla],
-			100*dep.Stats.RemoteNeighborAvg)
+			parts, tp[adaqp.Vanilla], tp[adaqp.AdaQP], tp[adaqp.AdaQP]/tp[adaqp.Vanilla],
+			100*eng.Deployment().Stats.RemoteNeighborAvg)
 	}
 }

@@ -112,6 +112,10 @@ type Device struct {
 // Rank returns this device's id in [0, Size).
 func (d *Device) Rank() int { return d.rank }
 
+// Rand returns this device's private RNG (method form of the RNG field, so
+// interfaces can abstract Device).
+func (d *Device) Rand() *tensor.RNG { return d.RNG }
+
 // Size returns the cluster size.
 func (d *Device) Size() int { return d.c.n }
 

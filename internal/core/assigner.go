@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"repro/internal/bitassign"
-	"repro/internal/cluster"
 	"repro/internal/partition"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -143,7 +142,7 @@ func decodeGob(b []byte, v any) error {
 // timing.Assign; gather/scatter communication is charged by the
 // collectives; non-master devices block (Idle) until results arrive —
 // exactly the paper's "blocks the current training worker".
-func runAssignment(dev *cluster.Device, cfg *Config, st *assignState) error {
+func runAssignment(dev Transport, cfg *Config, st *assignState) error {
 	n := dev.Size()
 	report := traceMsg{Rank: dev.Rank(), Fwd: st.fwdRange2, Bwd: st.bwdRange2}
 	report.RecvAlpha = make([][]float64, n)
@@ -188,7 +187,7 @@ func runAssignment(dev *cluster.Device, cfg *Config, st *assignState) error {
 // solveAllProblems builds and solves one Problem per (layer, direction) on
 // the master, in parallel goroutines (the paper's thread pool, step 3),
 // and packages per-device width tables. Returns the simulated solve cost.
-func solveAllProblems(dev *cluster.Device, cfg *Config, st *assignState, reports []*traceMsg) ([]*widthMsg, timing.Seconds) {
+func solveAllProblems(dev Transport, cfg *Config, st *assignState, reports []*traceMsg) ([]*widthMsg, timing.Seconds) {
 	n := len(reports)
 	model := dev.Model()
 	theta := make([]float64, n*n)

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// A MessageCodec is one scheme for moving boundary messages between
+// devices during training: how halo embeddings travel forward, how
+// embedding gradients travel back, and how the simulated computation /
+// communication schedule interleaves with those transfers. The codecs
+// shipped here cover the paper's systems — full-precision all2all (fp32),
+// uniform and adaptive quantization (AdaQP), random-width sampling,
+// cross-iteration pipelining (PipeGCN) and staleness-bounded broadcast
+// (SANCUS) — and new schemes register alongside them without touching the
+// trainer's layer loop.
+//
+// One codec instance serves one device for one training run; instances may
+// hold mutable state (width tables, staleness caches). All cross-device
+// traffic must flow through env.Dev so byte accounting and simulated
+// timing stay correct.
+type MessageCodec interface {
+	// Name returns the registry name this codec was built under.
+	Name() string
+	// Forward fills xFull's halo rows ([NumLocal, NumLocal+NumHalo)) for
+	// layer l from the peers' h rows and charges the layer's forward-stage
+	// simulated time per the codec's schedule.
+	Forward(env *ExchangeEnv, epoch, layer int, h, xFull *tensor.Matrix) error
+	// Backward ships dxFull's halo-gradient rows back to their owners
+	// (scatter-added into dxLocal) and charges the layer's backward-stage
+	// time. Called only for layers with a backward exchange (layer > 0).
+	Backward(env *ExchangeEnv, epoch, layer int, dxFull, dxLocal *tensor.Matrix) error
+	// EpochEnd runs any end-of-epoch protocol — e.g. AdaQP's bit-width
+	// re-assignment. Every device calls it after every epoch, so codecs may
+	// use collectives here.
+	EpochEnd(env *ExchangeEnv, epoch int) error
+}
+
+// StageCosts is the simulated compute cost of one layer stage (forward or
+// backward) on one device, split into the central/marginal shares that
+// drive AdaQP's overlap schedule (§2.2): central rows touch only local
+// columns, so their computation can proceed while halo messages are in
+// flight.
+type StageCosts struct {
+	Total, Central, Marginal timing.Seconds
+}
+
+// ExchangeEnv is the per-device runtime context handed to codec calls.
+type ExchangeEnv struct {
+	// Dev is this device's transport endpoint.
+	Dev Transport
+	// Graph is this device's local graph with halo wire index sets.
+	Graph *partition.LocalGraph
+	// Cfg is the run configuration (shared, read-only).
+	Cfg *Config
+
+	costs []layerCosts
+}
+
+// ForwardCosts returns layer l's forward-stage compute costs.
+func (e *ExchangeEnv) ForwardCosts(l int) StageCosts {
+	c := e.costs[l]
+	return StageCosts{Total: c.fwdTotal, Central: c.fwdCentral, Marginal: c.fwdMarginal}
+}
+
+// BackwardCosts returns layer l's backward-stage compute costs.
+func (e *ExchangeEnv) BackwardCosts(l int) StageCosts {
+	c := e.costs[l]
+	return StageCosts{Total: c.bwdTotal, Central: c.bwdCentral, Marginal: c.bwdMarginal}
+}
+
+// ChargeOverlap charges the Fig. 7 schedule to the device clock:
+// central-graph computation runs concurrently with marginal-graph
+// communication (whose commDelta was already charged by the collective),
+// then marginal computation follows.
+func (e *ExchangeEnv) ChargeOverlap(central, marginal, commDelta timing.Seconds) {
+	clock := e.Dev.Clock()
+	if central > commDelta {
+		clock.Advance(timing.Comp, central-commDelta)
+	}
+	clock.Advance(timing.Comp, marginal)
+}
+
+// CodecEnv is the construction-time context for one device's codec
+// instance.
+type CodecEnv struct {
+	// Cfg is the validated run configuration.
+	Cfg *Config
+	// Locals holds every device's local graph (static topology metadata —
+	// what a real system exchanges once at startup).
+	Locals []*partition.LocalGraph
+	// Rank is the device this instance will serve.
+	Rank int
+	// InDim is the input feature dimension (the layer-0 message width).
+	InDim int
+	// Shared carries per-run state built once and read by all devices.
+	Shared *RunShared
+}
+
+// Graph returns the constructing device's local graph.
+func (e *CodecEnv) Graph() *partition.LocalGraph { return e.Locals[e.Rank] }
+
+// RunShared holds lazily-built per-run state shared across devices.
+type RunShared struct {
+	sancusOnce sync.Once
+	sancus     *sancusTopology
+}
+
+// sancusTopo builds (once) and returns the global broadcast layout.
+func (s *RunShared) sancusTopo(locals []*partition.LocalGraph) *sancusTopology {
+	s.sancusOnce.Do(func() { s.sancus = buildSancusTopology(locals) })
+	return s.sancus
+}
+
+// CodecFactory builds one device's codec instance for one training run.
+type CodecFactory func(env *CodecEnv) (MessageCodec, error)
+
+// Registry names of the built-in codecs.
+const (
+	CodecFP32     = "fp32"     // full-precision ring all2all (Vanilla)
+	CodecUniform  = "uniform"  // uniform-width quantization + overlap
+	CodecRandom   = "random"   // random-width sampling ablation
+	CodecAdaptive = "adaptive" // AdaQP: traced, adaptively assigned widths
+	CodecPipeGCN  = "pipegcn"  // cross-iteration staleness pipelining
+	CodecSancus   = "sancus"   // staleness-bounded sequential broadcast
+)
+
+var (
+	codecMu       sync.RWMutex
+	codecRegistry = map[string]CodecFactory{}
+)
+
+// RegisterCodec makes a message codec available under name. Registering a
+// duplicate name panics.
+func RegisterCodec(name string, f CodecFactory) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecRegistry[name]; dup {
+		panic(fmt.Sprintf("core: codec %q registered twice", name))
+	}
+	codecRegistry[name] = f
+}
+
+// LookupCodec resolves a registered codec factory.
+func LookupCodec(name string) (CodecFactory, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	f, ok := codecRegistry[name]
+	if !ok {
+		known := make([]string, 0, len(codecRegistry))
+		for n := range codecRegistry {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("core: unknown codec %q (have %v)", name, known)
+	}
+	return f, nil
+}
+
+// CodecNames lists the registered codecs, sorted.
+func CodecNames() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	names := make([]string, 0, len(codecRegistry))
+	for n := range codecRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CodecForMethod returns the codec a training method uses by default.
+// Config.Codec overrides it.
+func CodecForMethod(m Method) (string, error) {
+	switch m {
+	case Vanilla:
+		return CodecFP32, nil
+	case AdaQP:
+		return CodecAdaptive, nil
+	case AdaQPUniform:
+		return CodecUniform, nil
+	case AdaQPRandom:
+		return CodecRandom, nil
+	case PipeGCN:
+		return CodecPipeGCN, nil
+	case SANCUS:
+		return CodecSancus, nil
+	}
+	return "", fmt.Errorf("core: no codec for method %v", m)
+}
+
+func init() {
+	RegisterCodec(CodecFP32, newFP32Codec)
+	RegisterCodec(CodecUniform, newUniformCodec)
+	RegisterCodec(CodecRandom, newRandomCodec)
+	RegisterCodec(CodecAdaptive, newAdaptiveCodec)
+	RegisterCodec(CodecPipeGCN, newPipeGCNCodec)
+	RegisterCodec(CodecSancus, newSancusCodec)
+}

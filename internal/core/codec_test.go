@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCodecForMethodAllResolvable(t *testing.T) {
+	// Every training method must map to a registered codec.
+	for _, m := range Methods() {
+		name, err := CodecForMethod(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if _, err := LookupCodec(name); err != nil {
+			t.Fatalf("%v → %q: %v", m, name, err)
+		}
+	}
+	if _, err := CodecForMethod(Method(99)); err == nil {
+		t.Fatal("unknown method must not map to a codec")
+	}
+}
+
+func TestCodecRegistryContents(t *testing.T) {
+	names := CodecNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{CodecFP32, CodecUniform, CodecAdaptive, CodecSancus, CodecRandom, CodecPipeGCN} {
+		if !have[want] {
+			t.Fatalf("codec %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestLookupCodecUnknown(t *testing.T) {
+	_, err := LookupCodec("no-such-codec")
+	if err == nil {
+		t.Fatal("unknown codec must error")
+	}
+	if !strings.Contains(err.Error(), "no-such-codec") || !strings.Contains(err.Error(), CodecFP32) {
+		t.Fatalf("error should name the codec and list known ones: %v", err)
+	}
+}
+
+func TestTransportRegistry(t *testing.T) {
+	if _, err := LookupTransport(TransportInprocess); err != nil {
+		t.Fatalf("default transport missing: %v", err)
+	}
+	if _, err := LookupTransport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport must error")
+	}
+	found := false
+	for _, n := range TransportNames() {
+		if n == TransportInprocess {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("TransportNames missing %q: %v", TransportInprocess, TransportNames())
+	}
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range Methods() {
+		got, err := ParseMethod(m.String())
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("ParseMethod(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	// CLI short forms and case-insensitivity.
+	for s, want := range map[string]Method{
+		"uniform": AdaQPUniform, "random": AdaQPRandom,
+		"VANILLA": Vanilla, "AdAqP": AdaQP, "Sancus": SANCUS, "PipeGCN": PipeGCN,
+	} {
+		got, err := ParseMethod(s)
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("ParseMethod(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, err := ParseMethod("quantum"); err == nil {
+		t.Fatal("unknown method string must error")
+	}
+}
+
+func TestParseModelKindRoundTrip(t *testing.T) {
+	for _, k := range []ModelKind{GCN, GraphSAGE} {
+		got, err := ParseModelKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseModelKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseModelKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if got, err := ParseModelKind("sage"); err != nil || got != GraphSAGE {
+		t.Fatalf("ParseModelKind(sage) = %v, %v", got, err)
+	}
+	if _, err := ParseModelKind("transformer"); err == nil {
+		t.Fatal("unknown model string must error")
+	}
+}
+
+func TestConfigValidateCodecAndTransport(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Codec = "no-such-codec"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown codec must fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.Transport = "no-such-transport"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown transport must fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.Codec = CodecSancus
+	cfg.Transport = TransportInprocess
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid codec/transport rejected: %v", err)
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// ---- fp32: full-precision ring all2all (Vanilla's scheme) ----
+
+type fp32Codec struct{}
+
+func newFP32Codec(*CodecEnv) (MessageCodec, error) { return fp32Codec{}, nil }
+
+func (fp32Codec) Name() string { return CodecFP32 }
+
+func (fp32Codec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	if err := exchangeHaloFP(env.Dev, env.Graph, h, xFull, false); err != nil {
+		return err
+	}
+	env.Dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
+	return nil
+}
+
+func (fp32Codec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	env.Dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
+	return exchangeGradFP(env.Dev, env.Graph, dxFull, dxLocal)
+}
+
+func (fp32Codec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// ---- shared quantized exchange with the overlap schedule ----
+
+// quantState embeds the width tables and implements the quantized
+// forward/backward exchanges under AdaQP's computation–communication
+// overlap schedule. The three quantizing codecs differ only in how the
+// tables are produced (uniform / random / adaptively assigned).
+type quantState struct {
+	st *assignState
+}
+
+func (q *quantState) forwardQ(env *ExchangeEnv, l int, h, xFull *tensor.Matrix) error {
+	commDelta, err := exchangeHaloQ(env.Dev, env.Graph, q.st.fwdW[l], h, xFull)
+	if err != nil {
+		return err
+	}
+	fc := env.ForwardCosts(l)
+	env.ChargeOverlap(fc.Central, fc.Marginal, commDelta)
+	return nil
+}
+
+// forwardFP is the full-precision forward exchange under the overlap
+// schedule (AdaQP's bootstrap epoch; the 32-bit passthrough).
+func (q *quantState) forwardFP(env *ExchangeEnv, l int, h, xFull *tensor.Matrix) error {
+	clock := env.Dev.Clock()
+	before := clock.Spent(timing.Comm)
+	if err := exchangeHaloFP(env.Dev, env.Graph, h, xFull, false); err != nil {
+		return err
+	}
+	commDelta := clock.Spent(timing.Comm) - before
+	fc := env.ForwardCosts(l)
+	env.ChargeOverlap(fc.Central, fc.Marginal, commDelta)
+	return nil
+}
+
+func (q *quantState) backwardQ(env *ExchangeEnv, l int, dxFull, dxLocal *tensor.Matrix) error {
+	clock := env.Dev.Clock()
+	bc := env.BackwardCosts(l)
+	clock.Advance(timing.Comp, bc.Marginal)
+	commDelta, err := exchangeGradQ(env.Dev, env.Graph, q.st.bwdW[l], dxFull, dxLocal)
+	if err != nil {
+		return err
+	}
+	if bc.Central > commDelta {
+		clock.Advance(timing.Comp, bc.Central-commDelta)
+	}
+	return nil
+}
+
+func (q *quantState) backwardFP(env *ExchangeEnv, l int, dxFull, dxLocal *tensor.Matrix) error {
+	clock := env.Dev.Clock()
+	bc := env.BackwardCosts(l)
+	clock.Advance(timing.Comp, bc.Marginal)
+	before := clock.Spent(timing.Comm)
+	if err := exchangeGradFP(env.Dev, env.Graph, dxFull, dxLocal); err != nil {
+		return err
+	}
+	commDelta := clock.Spent(timing.Comm) - before
+	if bc.Central > commDelta {
+		clock.Advance(timing.Comp, bc.Central-commDelta)
+	}
+	return nil
+}
+
+// ---- uniform: every message at Config.UniformBits ----
+
+type uniformCodec struct {
+	quantState
+	passthrough bool // 32-bit: raw fp32 rows, overlap schedule intact
+}
+
+func newUniformCodec(env *CodecEnv) (MessageCodec, error) {
+	c := &uniformCodec{passthrough: env.Cfg.UniformBits == quant.B32}
+	if !c.passthrough {
+		c.st = newAssignState(env.Cfg, env.Graph(), env.InDim)
+		c.st.installUniformWidths(env.Cfg.UniformBits)
+	}
+	return c, nil
+}
+
+func (c *uniformCodec) Name() string { return CodecUniform }
+
+func (c *uniformCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	if c.passthrough {
+		return c.forwardFP(env, l, h, xFull)
+	}
+	return c.forwardQ(env, l, h, xFull)
+}
+
+func (c *uniformCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	if c.passthrough {
+		return c.backwardFP(env, l, dxFull, dxLocal)
+	}
+	return c.backwardQ(env, l, dxFull, dxLocal)
+}
+
+func (c *uniformCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// ---- random: widths sampled uniformly from {2,4,8} per message ----
+
+type randomCodec struct {
+	quantState
+	rank int
+}
+
+func newRandomCodec(env *CodecEnv) (MessageCodec, error) {
+	c := &randomCodec{rank: env.Rank}
+	c.st = newAssignState(env.Cfg, env.Graph(), env.InDim)
+	c.st.installRandomWidths(env.Cfg.Seed, 0, len(env.Locals), env.Rank)
+	return c, nil
+}
+
+func (c *randomCodec) Name() string { return CodecRandom }
+
+func (c *randomCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	return c.forwardQ(env, l, h, xFull)
+}
+
+func (c *randomCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	return c.backwardQ(env, l, dxFull, dxLocal)
+}
+
+func (c *randomCodec) EpochEnd(env *ExchangeEnv, epoch int) error {
+	if epoch > 0 && epoch%env.Cfg.ReassignPeriod == 0 {
+		c.st.installRandomWidths(env.Cfg.Seed, epoch/env.Cfg.ReassignPeriod, env.Dev.Size(), c.rank)
+	}
+	return nil
+}
+
+// ---- adaptive: AdaQP's traced, bi-objectively assigned widths ----
+
+type adaptiveCodec struct {
+	quantState
+}
+
+func newAdaptiveCodec(env *CodecEnv) (MessageCodec, error) {
+	c := &adaptiveCodec{}
+	c.st = newAssignState(env.Cfg, env.Graph(), env.InDim)
+	return c, nil
+}
+
+func (c *adaptiveCodec) Name() string { return CodecAdaptive }
+
+// tracingEpoch reports whether this epoch's messages are traced for the
+// assigner: the bootstrap epoch 0 (run at full precision) and the last
+// epoch of each re-assignment period.
+func (c *adaptiveCodec) tracingEpoch(env *ExchangeEnv, epoch int) bool {
+	if epoch == 0 {
+		return true
+	}
+	return (epoch+1)%env.Cfg.ReassignPeriod == 0
+}
+
+func (c *adaptiveCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	if c.tracingEpoch(env, epoch) {
+		c.st.traceForward(l, h)
+	}
+	if epoch == 0 {
+		// Bootstrap epoch: full precision while tracing (no widths assigned
+		// yet), with the overlap schedule already active.
+		return c.forwardFP(env, l, h, xFull)
+	}
+	return c.forwardQ(env, l, h, xFull)
+}
+
+func (c *adaptiveCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	if c.tracingEpoch(env, epoch) {
+		c.st.traceBackward(l, dxFull)
+	}
+	if epoch == 0 {
+		return c.backwardFP(env, l, dxFull, dxLocal)
+	}
+	return c.backwardQ(env, l, dxFull, dxLocal)
+}
+
+// EpochEnd re-solves the bi-objective assignment problem at each period
+// boundary using the traces collected this epoch.
+func (c *adaptiveCodec) EpochEnd(env *ExchangeEnv, epoch int) error {
+	if !c.tracingEpoch(env, epoch) {
+		return nil
+	}
+	return runAssignment(env.Dev, env.Cfg, c.st)
+}
+
+// ---- pipegcn: cross-iteration pipelining with 1-epoch staleness ----
+
+type pipegcnCodec struct {
+	pipeHalo []*tensor.Matrix // per layer: last received halo block
+	pipeGrad []*tensor.Matrix // per layer: last received remote gradients
+}
+
+func newPipeGCNCodec(env *CodecEnv) (MessageCodec, error) {
+	return &pipegcnCodec{
+		pipeHalo: make([]*tensor.Matrix, env.Cfg.Layers),
+		pipeGrad: make([]*tensor.Matrix, env.Cfg.Layers),
+	}, nil
+}
+
+func (c *pipegcnCodec) Name() string { return CodecPipeGCN }
+
+func (c *pipegcnCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	lg, clock := env.Graph, env.Dev.Clock()
+	fc := env.ForwardCosts(l)
+	if epoch == 0 {
+		if err := exchangeHaloFP(env.Dev, lg, h, xFull, false); err != nil {
+			return err
+		}
+		clock.Advance(timing.Comp, fc.Total)
+		c.pipeHalo[l] = xFull.RowSlice(lg.NumLocal, xFull.Rows)
+		return nil
+	}
+	// Use last epoch's halo block (1-epoch staleness) while the fresh
+	// exchange overlaps with this epoch's computation.
+	stale := c.pipeHalo[l]
+	for i := 0; i < lg.NumHalo; i++ {
+		copy(xFull.Row(lg.NumLocal+i), stale.Row(i))
+	}
+	fresh := tensor.New(xFull.Rows, xFull.Cols)
+	before := clock.Spent(timing.Comm)
+	if err := exchangeHaloFP(env.Dev, lg, h, fresh, false); err != nil {
+		return err
+	}
+	commDelta := clock.Spent(timing.Comm) - before
+	c.pipeHalo[l] = fresh.RowSlice(lg.NumLocal, fresh.Rows)
+	if fc.Total > commDelta {
+		clock.Advance(timing.Comp, fc.Total-commDelta)
+	}
+	return nil
+}
+
+func (c *pipegcnCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	lg, clock := env.Graph, env.Dev.Clock()
+	bc := env.BackwardCosts(l)
+	if epoch == 0 {
+		clock.Advance(timing.Comp, bc.Total)
+		remote := tensor.New(lg.NumLocal, dxLocal.Cols)
+		if err := exchangeGradFP(env.Dev, lg, dxFull, remote); err != nil {
+			return err
+		}
+		dxLocal.AddInPlace(remote)
+		c.pipeGrad[l] = remote
+		return nil
+	}
+	// Apply last epoch's remote gradients; ship fresh ones overlapped with
+	// computation.
+	dxLocal.AddInPlace(c.pipeGrad[l])
+	remote := tensor.New(lg.NumLocal, dxLocal.Cols)
+	before := clock.Spent(timing.Comm)
+	if err := exchangeGradFP(env.Dev, lg, dxFull, remote); err != nil {
+		return err
+	}
+	commDelta := clock.Spent(timing.Comm) - before
+	c.pipeGrad[l] = remote
+	if bc.Total > commDelta {
+		clock.Advance(timing.Comp, bc.Total-commDelta)
+	}
+	return nil
+}
+
+func (c *pipegcnCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// ---- sancus: staleness-bounded sequential broadcast ----
+
+type sancusCodec struct {
+	topo  *sancusTopology
+	cache []*tensor.Matrix // per layer: cached halo rows
+	last  []*tensor.Matrix // per layer: my boundary rows at last broadcast
+	age   []int
+}
+
+func newSancusCodec(env *CodecEnv) (MessageCodec, error) {
+	return &sancusCodec{
+		topo:  env.Shared.sancusTopo(env.Locals),
+		cache: make([]*tensor.Matrix, env.Cfg.Layers),
+		last:  make([]*tensor.Matrix, env.Cfg.Layers),
+		age:   make([]int, env.Cfg.Layers),
+	}, nil
+}
+
+func (c *sancusCodec) Name() string { return CodecSancus }
+
+func (c *sancusCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	if err := c.exchange(env, epoch, l, h, xFull); err != nil {
+		return err
+	}
+	env.Dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
+	return nil
+}
+
+// Backward is communication-avoiding: historical remote embeddings are
+// treated as constants, so no error messages are sent back.
+func (c *sancusCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	env.Dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
+	return nil
+}
+
+func (c *sancusCodec) EpochEnd(*ExchangeEnv, int) error { return nil }

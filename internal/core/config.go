@@ -8,7 +8,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/quant"
 )
 
@@ -28,6 +30,18 @@ func (m ModelKind) String() string {
 		return "GraphSAGE"
 	}
 	return "GCN"
+}
+
+// ParseModelKind is the inverse of ModelKind.String, also accepting the
+// CLI short forms ("gcn", "sage"), case-insensitively.
+func ParseModelKind(s string) (ModelKind, error) {
+	switch strings.ToLower(s) {
+	case "gcn":
+		return GCN, nil
+	case "graphsage", "sage":
+		return GraphSAGE, nil
+	}
+	return 0, fmt.Errorf("core: unknown model kind %q (want gcn or sage)", s)
 }
 
 // Method selects the training system.
@@ -71,6 +85,31 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// Methods lists every training system in declaration order.
+func Methods() []Method {
+	return []Method{Vanilla, AdaQP, AdaQPUniform, AdaQPRandom, PipeGCN, SANCUS}
+}
+
+// ParseMethod is the inverse of Method.String, also accepting the CLI
+// short forms ("uniform", "random"), case-insensitively.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(s) {
+	case "vanilla":
+		return Vanilla, nil
+	case "adaqp":
+		return AdaQP, nil
+	case "adaqp-uniform", "uniform":
+		return AdaQPUniform, nil
+	case "adaqp-random", "random":
+		return AdaQPRandom, nil
+	case "pipegcn":
+		return PipeGCN, nil
+	case "sancus":
+		return SANCUS, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q (want one of %v)", s, Methods())
+}
+
 // Config holds everything one training run needs. Defaults follow the
 // paper's unified hyper-parameters (Appendix B): 3 layers, hidden 256,
 // LayerNorm, Adam lr 0.01, dropout per dataset, λ = 0.5.
@@ -106,6 +145,21 @@ type Config struct {
 	// Seed drives weight init, dropout, stochastic rounding and the
 	// random-width ablation.
 	Seed uint64
+
+	// Codec overrides the message codec the run uses. Empty selects the
+	// Method's default (see CodecForMethod); any name registered with
+	// RegisterCodec is accepted.
+	Codec string
+
+	// Transport selects the runtime backend registered with
+	// RegisterTransport. Empty selects the in-process cluster.
+	Transport string
+
+	// EpochHook, when non-nil, receives each epoch's record as training
+	// progresses (called once per epoch, from the rank-0 device goroutine,
+	// after the codec's end-of-epoch protocol). It must not start another
+	// run on the same Deployment.
+	EpochHook func(metrics.EpochStat)
 }
 
 // DefaultConfig returns the paper's unified training configuration.
@@ -127,6 +181,26 @@ func DefaultConfig() Config {
 		SancusMaxStale: 8,
 		Seed:           1,
 	}
+}
+
+// Validate fills defaults for zero-valued fields and sanity-checks the
+// configuration, including that the selected codec and transport are
+// registered.
+func (c *Config) Validate() error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.Codec != "" {
+		if _, err := LookupCodec(c.Codec); err != nil {
+			return err
+		}
+	}
+	if c.Transport != "" {
+		if _, err := LookupTransport(c.Transport); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // validate fills defaults for zero-valued fields and sanity-checks.

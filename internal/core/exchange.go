@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/cluster"
 	"repro/internal/partition"
 	"repro/internal/quant"
 	"repro/internal/tensor"
@@ -66,7 +65,7 @@ func addBytesToRows(buf []byte, dst *tensor.Matrix, rows []int32) error {
 // exchangeHaloFP performs the full-precision forward halo exchange
 // (Vanilla), filling xFull's halo rows. When raw is true no simulated time
 // is charged (evaluation sideband).
-func exchangeHaloFP(dev *cluster.Device, lg *partition.LocalGraph, xLocal, xFull *tensor.Matrix, raw bool) error {
+func exchangeHaloFP(dev Transport, lg *partition.LocalGraph, xLocal, xFull *tensor.Matrix, raw bool) error {
 	n := dev.Size()
 	payloads := make([][]byte, n)
 	for q := 0; q < n; q++ {
@@ -94,7 +93,7 @@ func exchangeHaloFP(dev *cluster.Device, lg *partition.LocalGraph, xLocal, xFull
 
 // exchangeGradFP performs the full-precision backward exchange: dxFull's
 // halo rows go back to their owners and are scatter-added into dxLocal.
-func exchangeGradFP(dev *cluster.Device, lg *partition.LocalGraph, dxFull, dxLocal *tensor.Matrix) error {
+func exchangeGradFP(dev Transport, lg *partition.LocalGraph, dxFull, dxLocal *tensor.Matrix) error {
 	n := dev.Size()
 	payloads := make([][]byte, n)
 	for p := 0; p < n; p++ {
@@ -169,7 +168,7 @@ func quantRecvElems(wt *widthTable, dim int) int {
 // widths. Charges Quant for the quantize/de-quantize kernels; Comm is
 // charged inside RingAll2All. Returns the Comm seconds this call added
 // (used by the overlap schedule).
-func exchangeHaloQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable,
+func exchangeHaloQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 	xLocal, xFull *tensor.Matrix) (timing.Seconds, error) {
 	n := dev.Size()
 	model := dev.Model()
@@ -179,7 +178,7 @@ func exchangeHaloQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		buf, err := quant.QuantizeMixed(xLocal, lg.SendTo[q], wt.send[q], dev.RNG)
+		buf, err := quant.QuantizeMixed(xLocal, lg.SendTo[q], wt.send[q], dev.Rand())
 		if err != nil {
 			return 0, err
 		}
@@ -207,7 +206,7 @@ func exchangeHaloQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable
 // exchangeGradQ performs the quantized backward exchange (embedding
 // gradients / "errors"). wt is the backward width table: send[p] covers
 // slots RecvFrom[p], recv[q] covers rows SendTo[q].
-func exchangeGradQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable,
+func exchangeGradQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 	dxFull, dxLocal *tensor.Matrix) (timing.Seconds, error) {
 	n := dev.Size()
 	model := dev.Model()
@@ -221,7 +220,7 @@ func exchangeGradQ(dev *cluster.Device, lg *partition.LocalGraph, wt *widthTable
 		for i, s := range lg.RecvFrom[p] {
 			idx[i] = s + int32(lg.NumLocal)
 		}
-		buf, err := quant.QuantizeMixed(dxFull, idx, wt.send[p], dev.RNG)
+		buf, err := quant.QuantizeMixed(dxFull, idx, wt.send[p], dev.Rand())
 		if err != nil {
 			return 0, err
 		}

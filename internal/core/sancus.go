@@ -70,51 +70,51 @@ func sortInt32(a []int32) {
 	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
 
-// sancusExchange fills xFull's halo rows from the per-layer historical
-// cache, refreshing it with any broadcasts that happened this epoch.
-func (w *worker) sancusExchange(epoch, l int, h, xFull *tensor.Matrix) error {
-	lg := w.lg
-	n := w.dev.Size()
-	rank := w.dev.Rank()
-	if w.sancusCache[l] == nil || w.sancusCache[l].Cols != xFull.Cols {
-		w.sancusCache[l] = tensor.New(lg.NumHalo, xFull.Cols)
+// exchange fills xFull's halo rows from the per-layer historical cache,
+// refreshing it with any broadcasts that happened this epoch.
+func (c *sancusCodec) exchange(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	lg := env.Graph
+	n := env.Dev.Size()
+	rank := env.Dev.Rank()
+	if c.cache[l] == nil || c.cache[l].Cols != xFull.Cols {
+		c.cache[l] = tensor.New(lg.NumHalo, xFull.Cols)
 	}
-	myBoundary := h.GatherRows(int32sToInts(w.sancus.boundary[rank]))
+	myBoundary := h.GatherRows(int32sToInts(c.topo.boundary[rank]))
 
 	broadcast := true
-	if epoch > 0 && w.sancusLast[l] != nil && w.sancusLast[l].SameShape(myBoundary) {
-		drift := tensor.Sub(myBoundary, w.sancusLast[l]).FrobeniusNorm()
+	if epoch > 0 && c.last[l] != nil && c.last[l].SameShape(myBoundary) {
+		drift := tensor.Sub(myBoundary, c.last[l]).FrobeniusNorm()
 		norm := myBoundary.FrobeniusNorm() + 1e-12
-		broadcast = drift/norm >= w.cfg.SancusDrift || w.sancusAge[l]+1 >= w.cfg.SancusMaxStale
+		broadcast = drift/norm >= env.Cfg.SancusDrift || c.age[l]+1 >= env.Cfg.SancusMaxStale
 	}
 
 	for src := 0; src < n; src++ {
 		var payload []byte
-		if src == rank && broadcast && len(w.sancus.boundary[rank]) > 0 {
+		if src == rank && broadcast && len(c.topo.boundary[rank]) > 0 {
 			payload = rowsToBytes(myBoundary, allRows(myBoundary.Rows))
 		}
-		got := w.dev.BroadcastBytes(src, payload)
+		got := env.Dev.BroadcastBytes(src, payload)
 		if src == rank || len(got) == 0 || len(lg.RecvFrom[src]) == 0 {
 			continue
 		}
-		nRows := len(w.sancus.boundary[src])
+		nRows := len(c.topo.boundary[src])
 		tmp := tensor.New(nRows, xFull.Cols)
 		if err := bytesToRows(got, tmp, allRows(nRows), 0); err != nil {
 			return fmt.Errorf("sancus: rank %d from %d: %w", rank, src, err)
 		}
-		cache := w.sancusCache[l]
+		cache := c.cache[l]
 		for j, slot := range lg.RecvFrom[src] {
-			copy(cache.Row(int(slot)), tmp.Row(int(w.sancus.recvMap[src][rank][j])))
+			copy(cache.Row(int(slot)), tmp.Row(int(c.topo.recvMap[src][rank][j])))
 		}
 	}
 	if broadcast {
-		w.sancusLast[l] = myBoundary.Clone()
-		w.sancusAge[l] = 0
+		c.last[l] = myBoundary.Clone()
+		c.age[l] = 0
 	} else {
-		w.sancusAge[l]++
+		c.age[l]++
 	}
 	for i := 0; i < lg.NumHalo; i++ {
-		copy(xFull.Row(lg.NumLocal+i), w.sancusCache[l].Row(i))
+		copy(xFull.Row(lg.NumLocal+i), c.cache[l].Row(i))
 	}
 	return nil
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/partition"
@@ -24,18 +23,44 @@ func Train(ds *synthetic.Dataset, parts int, cfg Config, model *timing.CostModel
 
 // TrainDeployed is Train over an existing Deployment (lets experiments
 // reuse one partitioning across methods, as the paper's comparisons do).
+//
+// The run is assembled from the two pluggable seams: cfg's message codec
+// (defaulting per cfg.Method) moves boundary messages, and cfg's transport
+// backend (defaulting to the in-process cluster) moves bytes.
 func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metrics.RunResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	codecName := cfg.Codec
+	if codecName == "" {
+		var err error
+		codecName, err = CodecForMethod(cfg.Method)
+		if err != nil {
+			return nil, err
+		}
+	}
+	factory, err := LookupCodec(codecName)
+	if err != nil {
+		return nil, err
+	}
+	transportName := cfg.Transport
+	if transportName == "" {
+		transportName = TransportInprocess
+	}
+	runtimeFor, err := LookupTransport(transportName)
+	if err != nil {
+		return nil, err
+	}
+
 	ds := dep.Dataset
 	parts := dep.Assignment.Parts
-	clu := cluster.New(parts, model)
+	rt := runtimeFor(parts, model)
 
 	res := &metrics.RunResult{
 		Dataset: ds.Name,
 		Model:   cfg.Model.String(),
 		Method:  cfg.Method.String(),
+		Codec:   codecName,
 		Parts:   parts,
 	}
 	denom := float64(synthetic.MaskedCount(ds.TrainMask))
@@ -63,56 +88,53 @@ func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metri
 		}
 	}
 
-	// SANCUS needs each device's boundary-union layout globally (static
-	// topology metadata, exchanged once at startup in the real system).
-	var sancus *sancusTopology
-	if cfg.Method == SANCUS {
-		sancus = buildSancusTopology(dep.Locals)
-	}
-
-	err := clu.Run(cfg.Seed, func(dev *cluster.Device) error {
+	shared := &RunShared{}
+	err = rt.Run(cfg.Seed, func(dev Transport) error {
+		codec, err := factory(&CodecEnv{
+			Cfg:    &cfg,
+			Locals: dep.Locals,
+			Rank:   dev.Rank(),
+			InDim:  ds.Features.Cols,
+			Shared: shared,
+		})
+		if err != nil {
+			return err
+		}
 		w := &worker{
-			dev: dev, cfg: &cfg, clu: clu, res: res,
+			dev: dev, cfg: &cfg, res: res,
 			lg:        dep.Locals[dev.Rank()],
 			task:      ds.Task,
 			denom:     denom,
 			posWeight: posWeight,
-			sancus:    sancus,
+			codec:     codec,
 		}
 		w.ld = shardData(ds, w.lg)
 		w.model = newDeviceModel(&cfg, w.lg, ds.Features.Cols, ds.NumClasses, dev.Model())
 		w.opt = nn.NewAdam(cfg.LR)
-		if quantizedMethod(cfg.Method) {
-			w.assign = newAssignState(&cfg, w.lg, ds.Features.Cols)
-		}
+		w.env = &ExchangeEnv{Dev: dev, Graph: w.lg, Cfg: &cfg, costs: w.model.costs}
 		return w.run()
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	for _, c := range clu.Clocks() {
+	for _, c := range rt.Clocks() {
 		res.PerDevice = append(res.PerDevice, metrics.FromClock(c))
 	}
-	res.WallClock = timing.MaxSeconds(clu.Clocks())
+	res.WallClock = timing.MaxSeconds(rt.Clocks())
 	for _, b := range res.PerDevice {
 		if b.Assign > res.AssignTime {
 			res.AssignTime = b.Assign
 		}
 	}
-	res.BytesMoved = clu.BytesMoved()
+	res.BytesMoved = rt.BytesMoved()
 	return res, nil
-}
-
-func quantizedMethod(m Method) bool {
-	return m == AdaQP || m == AdaQPUniform || m == AdaQPRandom
 }
 
 // worker is the per-device training state.
 type worker struct {
-	dev       *cluster.Device
+	dev       Transport
 	cfg       *Config
-	clu       *cluster.Cluster
 	res       *metrics.RunResult
 	lg        *partition.LocalGraph
 	ld        *localData
@@ -121,51 +143,22 @@ type worker struct {
 	task      synthetic.Task
 	denom     float64
 	posWeight float64
-	assign    *assignState
 
-	// PipeGCN staleness buffers: per layer, last received halo block and
-	// last received remote gradient contribution.
-	pipeHalo []*tensor.Matrix
-	pipeGrad []*tensor.Matrix
-
-	// SANCUS state.
-	sancus      *sancusTopology
-	sancusCache []*tensor.Matrix // per layer: cached halo rows
-	sancusLast  []*tensor.Matrix // per layer: my boundary rows at last broadcast
-	sancusAge   []int
+	codec MessageCodec
+	env   *ExchangeEnv
 }
 
 func (w *worker) run() error {
 	cfg := w.cfg
-	L := cfg.Layers
-	switch cfg.Method {
-	case PipeGCN:
-		w.pipeHalo = make([]*tensor.Matrix, L)
-		w.pipeGrad = make([]*tensor.Matrix, L)
-	case SANCUS:
-		w.sancusCache = make([]*tensor.Matrix, L)
-		w.sancusLast = make([]*tensor.Matrix, L)
-		w.sancusAge = make([]int, L)
-	case AdaQPUniform:
-		w.assign.installUniformWidths(cfg.UniformBits)
-	case AdaQPRandom:
-		w.assign.installRandomWidths(cfg.Seed, 0, w.dev.Size(), w.dev.Rank())
-	}
-
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		loss, err := w.trainEpoch(epoch)
 		if err != nil {
 			return fmt.Errorf("rank %d epoch %d: %w", w.dev.Rank(), epoch, err)
 		}
-		// AdaQP: re-solve the bi-objective problem at the period boundary
-		// using the traces collected this epoch.
-		if cfg.Method == AdaQP && w.isTracingEpoch(epoch) {
-			if err := runAssignment(w.dev, cfg, w.assign); err != nil {
-				return err
-			}
-		}
-		if cfg.Method == AdaQPRandom && epoch > 0 && epoch%cfg.ReassignPeriod == 0 {
-			w.assign.installRandomWidths(cfg.Seed, epoch/cfg.ReassignPeriod, w.dev.Size(), w.dev.Rank())
+		// Codec end-of-epoch protocol (e.g. AdaQP's bit-width re-assignment
+		// at period boundaries, using the traces collected this epoch).
+		if err := w.codec.EpochEnd(w.env, epoch); err != nil {
+			return err
 		}
 
 		valAcc := math.NaN()
@@ -178,10 +171,14 @@ func (w *worker) run() error {
 		}
 		w.dev.Barrier()
 		if w.dev.Rank() == 0 {
-			w.res.Epochs = append(w.res.Epochs, metrics.EpochStat{
+			stat := metrics.EpochStat{
 				Epoch: epoch, Loss: loss, ValAcc: valAcc,
 				SimTime: w.dev.Clock().Now(),
-			})
+			}
+			w.res.Epochs = append(w.res.Epochs, stat)
+			if cfg.EpochHook != nil {
+				cfg.EpochHook(stat)
+			}
 		}
 	}
 	// Final metrics.
@@ -198,16 +195,6 @@ func (w *worker) run() error {
 		w.res.FinalVal = val
 	}
 	return nil
-}
-
-// isTracingEpoch reports whether this epoch's messages were traced for the
-// assigner: the bootstrap epoch 0 (run at full precision) and the last
-// epoch of each re-assignment period.
-func (w *worker) isTracingEpoch(epoch int) bool {
-	if epoch == 0 {
-		return true
-	}
-	return (epoch+1)%w.cfg.ReassignPeriod == 0
 }
 
 // trainEpoch runs one synchronous training epoch and returns the global
@@ -238,9 +225,9 @@ func (w *worker) trainEpoch(epoch int) (float64, error) {
 	return w.globalSum(loss), nil
 }
 
-// forward runs the layer loop. For train=true the method-specific halo
-// exchange and timing schedule applies; eval uses the uncharged raw
-// exchange at full precision.
+// forward runs the layer loop. For train=true the codec's halo exchange
+// and timing schedule applies; eval uses the uncharged raw exchange at
+// full precision.
 func (w *worker) forward(epoch int, train bool) (*tensor.Matrix, error) {
 	cfg := w.cfg
 	h := w.ld.x
@@ -254,177 +241,33 @@ func (w *worker) forward(epoch int, train bool) (*tensor.Matrix, error) {
 			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, true); err != nil {
 				return nil, err
 			}
-			h = lay.forward(w.lg, xFull, w.dev.RNG, false)
+			h = lay.forward(w.lg, xFull, w.dev.Rand(), false)
 			continue
 		}
-		if err := w.forwardExchange(epoch, l, h, xFull); err != nil {
+		if err := w.codec.Forward(w.env, epoch, l, h, xFull); err != nil {
 			return nil, err
 		}
-		h = lay.forward(w.lg, xFull, w.dev.RNG, true)
+		h = lay.forward(w.lg, xFull, w.dev.Rand(), true)
 	}
 	return h, nil
 }
 
-// forwardExchange fills xFull's halo rows per the method and charges the
-// simulated schedule for layer l's forward stage.
-func (w *worker) forwardExchange(epoch, l int, h, xFull *tensor.Matrix) error {
-	cfg := w.cfg
-	clock := w.dev.Clock()
-	costs := w.model.costs[l]
-	switch cfg.Method {
-	case Vanilla:
-		if err := exchangeHaloFP(w.dev, w.lg, h, xFull, false); err != nil {
-			return err
-		}
-		clock.Advance(timing.Comp, costs.fwdTotal)
-
-	case AdaQP, AdaQPUniform, AdaQPRandom:
-		if cfg.Method == AdaQP && w.isTracingEpoch(epoch) {
-			w.assign.traceForward(l, h)
-		}
-		if cfg.Method == AdaQP && epoch == 0 {
-			// Bootstrap epoch: full precision while tracing (no widths
-			// assigned yet), with the overlap schedule already active.
-			before := clock.Spent(timing.Comm)
-			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, false); err != nil {
-				return err
-			}
-			commDelta := clock.Spent(timing.Comm) - before
-			w.chargeOverlap(costs.fwdCentral, costs.fwdMarginal, commDelta)
-			return nil
-		}
-		commDelta, err := exchangeHaloQ(w.dev, w.lg, w.assign.fwdW[l], h, xFull)
-		if err != nil {
-			return err
-		}
-		w.chargeOverlap(costs.fwdCentral, costs.fwdMarginal, commDelta)
-
-	case PipeGCN:
-		if epoch == 0 {
-			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, false); err != nil {
-				return err
-			}
-			clock.Advance(timing.Comp, costs.fwdTotal)
-			w.pipeHalo[l] = xFull.RowSlice(w.lg.NumLocal, xFull.Rows)
-			return nil
-		}
-		// Use last epoch's halo block (1-epoch staleness) while the fresh
-		// exchange overlaps with this epoch's computation.
-		stale := w.pipeHalo[l]
-		for i := 0; i < w.lg.NumHalo; i++ {
-			copy(xFull.Row(w.lg.NumLocal+i), stale.Row(i))
-		}
-		fresh := tensor.New(xFull.Rows, xFull.Cols)
-		before := clock.Spent(timing.Comm)
-		if err := exchangeHaloFP(w.dev, w.lg, h, fresh, false); err != nil {
-			return err
-		}
-		commDelta := clock.Spent(timing.Comm) - before
-		w.pipeHalo[l] = fresh.RowSlice(w.lg.NumLocal, fresh.Rows)
-		if costs.fwdTotal > commDelta {
-			clock.Advance(timing.Comp, costs.fwdTotal-commDelta)
-		}
-
-	case SANCUS:
-		if err := w.sancusExchange(epoch, l, h, xFull); err != nil {
-			return err
-		}
-		clock.Advance(timing.Comp, costs.fwdTotal)
-
-	default:
-		return fmt.Errorf("core: unsupported method %v", cfg.Method)
-	}
-	return nil
-}
-
-// chargeOverlap implements the Fig. 7 schedule: central-graph computation
-// runs concurrently with marginal-graph communication (whose commDelta was
-// already charged by the collective), then marginal computation follows.
-func (w *worker) chargeOverlap(central, marginal, commDelta timing.Seconds) {
-	clock := w.dev.Clock()
-	if central > commDelta {
-		clock.Advance(timing.Comp, central-commDelta)
-	}
-	clock.Advance(timing.Comp, marginal)
-}
-
-// backward runs the reverse layer loop with method-specific gradient
-// exchange.
+// backward runs the reverse layer loop with the codec's gradient exchange.
 func (w *worker) backward(epoch int, dlogits *tensor.Matrix) error {
 	cfg := w.cfg
-	clock := w.dev.Clock()
 	d := dlogits
 	for l := cfg.Layers - 1; l >= 0; l-- {
 		lay := w.model.layers[l]
-		costs := w.model.costs[l]
 		needInput := l > 0
 		dxFull := lay.backward(w.lg, d, needInput)
 		if !needInput {
-			clock.Advance(timing.Comp, costs.bwdTotal)
+			// Layer 0 has no backward exchange on any codec.
+			w.dev.Clock().Advance(timing.Comp, w.model.costs[l].bwdTotal)
 			return nil
 		}
 		dxLocal := dxFull.RowSlice(0, w.lg.NumLocal)
-
-		switch cfg.Method {
-		case Vanilla:
-			clock.Advance(timing.Comp, costs.bwdTotal)
-			if err := exchangeGradFP(w.dev, w.lg, dxFull, dxLocal); err != nil {
-				return err
-			}
-
-		case AdaQP, AdaQPUniform, AdaQPRandom:
-			if cfg.Method == AdaQP && w.isTracingEpoch(epoch) {
-				w.assign.traceBackward(l, dxFull)
-			}
-			clock.Advance(timing.Comp, costs.bwdMarginal)
-			if cfg.Method == AdaQP && epoch == 0 {
-				before := clock.Spent(timing.Comm)
-				if err := exchangeGradFP(w.dev, w.lg, dxFull, dxLocal); err != nil {
-					return err
-				}
-				commDelta := clock.Spent(timing.Comm) - before
-				if costs.bwdCentral > commDelta {
-					clock.Advance(timing.Comp, costs.bwdCentral-commDelta)
-				}
-			} else {
-				commDelta, err := exchangeGradQ(w.dev, w.lg, w.assign.bwdW[l], dxFull, dxLocal)
-				if err != nil {
-					return err
-				}
-				if costs.bwdCentral > commDelta {
-					clock.Advance(timing.Comp, costs.bwdCentral-commDelta)
-				}
-			}
-
-		case PipeGCN:
-			if epoch == 0 {
-				clock.Advance(timing.Comp, costs.bwdTotal)
-				remote := tensor.New(w.lg.NumLocal, dxLocal.Cols)
-				if err := exchangeGradFP(w.dev, w.lg, dxFull, remote); err != nil {
-					return err
-				}
-				dxLocal.AddInPlace(remote)
-				w.pipeGrad[l] = remote
-			} else {
-				// Apply last epoch's remote gradients; ship fresh ones
-				// overlapped with computation.
-				dxLocal.AddInPlace(w.pipeGrad[l])
-				remote := tensor.New(w.lg.NumLocal, dxLocal.Cols)
-				before := clock.Spent(timing.Comm)
-				if err := exchangeGradFP(w.dev, w.lg, dxFull, remote); err != nil {
-					return err
-				}
-				commDelta := clock.Spent(timing.Comm) - before
-				w.pipeGrad[l] = remote
-				if costs.bwdTotal > commDelta {
-					clock.Advance(timing.Comp, costs.bwdTotal-commDelta)
-				}
-			}
-
-		case SANCUS:
-			// Communication-avoiding: historical remote embeddings are
-			// treated as constants, so no error messages are sent back.
-			clock.Advance(timing.Comp, costs.bwdTotal)
+		if err := w.codec.Backward(w.env, epoch, l, dxFull, dxLocal); err != nil {
+			return err
 		}
 		d = dxLocal
 	}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Transport is the device-side communication surface the trainer and the
+// message codecs are written against. The in-process cluster.Device is the
+// reference implementation; future backends (sharded clusters, async
+// queues, RPC fabrics) satisfy the same contract without the training loop
+// changing.
+//
+// Collective semantics follow package cluster: every collective must be
+// entered by all devices of the runtime, payload buffers are owned by the
+// receiver after the call, and simulated time is charged to the device
+// clock (Raw* variants charge nothing — metrics sideband).
+type Transport interface {
+	// Rank is this device's id in [0, Size).
+	Rank() int
+	// Size is the number of devices in the runtime.
+	Size() int
+	// Clock is this device's simulated clock.
+	Clock() *timing.Clock
+	// Model is the shared hardware cost model.
+	Model() *timing.CostModel
+	// Rand is this device's private deterministic RNG.
+	Rand() *tensor.RNG
+	// Barrier aligns all devices (stragglers charged to Idle).
+	Barrier()
+	// RingAll2All exchanges per-destination buffers over the ring schedule,
+	// charging Comm round by round.
+	RingAll2All(payloads [][]byte) [][]byte
+	// AllReduceSum sums matrices elementwise across devices (ring-allreduce
+	// time model).
+	AllReduceSum(ms []*tensor.Matrix)
+	// GatherBytes collects every device's payload at root.
+	GatherBytes(root int, payload []byte) [][]byte
+	// ScatterBytes distributes payloads[i] from root to device i.
+	ScatterBytes(root int, payloads [][]byte) []byte
+	// BroadcastBytes sends root's payload to all devices (sequential
+	// broadcast timing — SANCUS's pattern).
+	BroadcastBytes(root int, payload []byte) []byte
+	// RawAll2All moves buffers like RingAll2All but charges no time.
+	RawAll2All(payloads [][]byte) [][]byte
+	// RawAllGather shares one buffer from every device with every device,
+	// charging no time.
+	RawAllGather(payload []byte) [][]byte
+}
+
+var _ Transport = (*cluster.Device)(nil)
+
+// Runtime launches one Transport per device and runs a training body on
+// each. It owns the aggregate measurements a run reports.
+type Runtime interface {
+	// Size is the device count.
+	Size() int
+	// Run executes body on every device concurrently; each device's RNG is
+	// derived from seed and its rank. The first non-nil error is returned.
+	Run(seed uint64, body func(Transport) error) error
+	// Clocks returns the per-device simulated clocks (read after Run).
+	Clocks() []*timing.Clock
+	// BytesMoved returns per-(src,dst) payload byte totals.
+	BytesMoved() [][]int64
+}
+
+// RuntimeFactory builds a Runtime for one training run.
+type RuntimeFactory func(parts int, model *timing.CostModel) Runtime
+
+// inprocessRuntime adapts cluster.Cluster to the Runtime interface.
+type inprocessRuntime struct {
+	clu *cluster.Cluster
+}
+
+func (r inprocessRuntime) Size() int               { return r.clu.Size() }
+func (r inprocessRuntime) Clocks() []*timing.Clock { return r.clu.Clocks() }
+func (r inprocessRuntime) BytesMoved() [][]int64   { return r.clu.BytesMoved() }
+func (r inprocessRuntime) Run(seed uint64, body func(Transport) error) error {
+	return r.clu.Run(seed, func(dev *cluster.Device) error { return body(dev) })
+}
+
+// TransportInprocess is the default transport: goroutine devices exchanging
+// in-memory buffers under the simulated cost model.
+const TransportInprocess = "inprocess"
+
+var (
+	transportMu       sync.RWMutex
+	transportRegistry = map[string]RuntimeFactory{}
+)
+
+// RegisterTransport makes a runtime backend available under name.
+// Registering a duplicate name panics (registration is an init-time
+// programming decision, not a runtime condition).
+func RegisterTransport(name string, f RuntimeFactory) {
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	if _, dup := transportRegistry[name]; dup {
+		panic(fmt.Sprintf("core: transport %q registered twice", name))
+	}
+	transportRegistry[name] = f
+}
+
+// LookupTransport resolves a registered runtime backend.
+func LookupTransport(name string) (RuntimeFactory, error) {
+	transportMu.RLock()
+	defer transportMu.RUnlock()
+	f, ok := transportRegistry[name]
+	if !ok {
+		known := make([]string, 0, len(transportRegistry))
+		for n := range transportRegistry {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("core: unknown transport %q (have %v)", name, known)
+	}
+	return f, nil
+}
+
+// TransportNames lists the registered backends, sorted.
+func TransportNames() []string {
+	transportMu.RLock()
+	defer transportMu.RUnlock()
+	names := make([]string, 0, len(transportRegistry))
+	for n := range transportRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterTransport(TransportInprocess, func(parts int, model *timing.CostModel) Runtime {
+		return inprocessRuntime{clu: cluster.New(parts, model)}
+	})
+}

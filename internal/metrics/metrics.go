@@ -70,7 +70,9 @@ type RunResult struct {
 	Dataset string
 	Model   string
 	Method  string
-	Parts   int
+	// Codec names the message codec the run used (registry name).
+	Codec string
+	Parts int
 
 	Epochs []EpochStat
 

@@ -37,8 +37,8 @@ func QuantizeMixed(x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor
 		return nil, fmt.Errorf("quant: %d indices but %d widths", len(idx), len(widths))
 	}
 	for i, b := range widths {
-		if !b.Valid() {
-			return nil, fmt.Errorf("quant: row %d has invalid bit-width %d", i, b)
+		if !b.Packable() {
+			return nil, fmt.Errorf("quant: row %d has unpackable bit-width %d", i, b)
 		}
 	}
 	out := make([]byte, 0, MixedSize(widths, x.Cols))
@@ -68,6 +68,11 @@ func QuantizeMixed(x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor
 func DequantizeMixed(stream []byte, dst *tensor.Matrix, dstRows []int32, widths []BitWidth) error {
 	if dstRows != nil && len(dstRows) != len(widths) {
 		return fmt.Errorf("quant: %d dst rows but %d widths", len(dstRows), len(widths))
+	}
+	for i, b := range widths {
+		if !b.Packable() {
+			return fmt.Errorf("quant: row %d has unpackable bit-width %d", i, b)
+		}
 	}
 	if want := MixedSize(widths, dst.Cols); len(stream) != want {
 		return fmt.Errorf("quant: mixed stream is %d bytes, want %d", len(stream), want)

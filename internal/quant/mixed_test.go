@@ -120,3 +120,24 @@ func TestMixedEmptyWidths(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMixedRejectsPassthroughWidth(t *testing.T) {
+	// B32 is a codec-level passthrough: mixed wire streams must refuse it
+	// with a clean error on both sides, never panic in the size math.
+	rng := tensor.NewRNG(1)
+	x := tensor.New(3, 8)
+	x.FillUniform(rng, -1, 1)
+	widths := []BitWidth{B8, B32, B2}
+	if _, err := QuantizeMixed(x, nil, widths, rng); err == nil {
+		t.Fatal("QuantizeMixed must reject B32")
+	}
+	if err := DequantizeMixed(nil, x, nil, widths); err == nil {
+		t.Fatal("DequantizeMixed must reject B32")
+	}
+	if got := WireSize(2, 8, B32); got != 2*4*8 {
+		t.Fatalf("WireSize at B32 = %d, want raw fp32 size %d", got, 2*4*8)
+	}
+	if B32.Packable() || !B32.Valid() {
+		t.Fatal("B32 must be Valid but not Packable")
+	}
+}

@@ -26,13 +26,23 @@ const (
 	B2 BitWidth = 2
 	B4 BitWidth = 4
 	B8 BitWidth = 8
+	// B32 is full precision — a passthrough marker, not a packed format.
+	// The assigner never selects it and the mixed-stream kernels reject
+	// it (see Packable); codecs that see it ship raw float32 rows, and
+	// the size helpers account it at 4 bytes per value with no row meta.
+	B32 BitWidth = 32
 )
 
 // Candidates lists the optional bit-width set B in ascending order.
 var Candidates = []BitWidth{B2, B4, B8}
 
-// Valid reports whether b is one of the supported widths.
-func (b BitWidth) Valid() bool { return b == B2 || b == B4 || b == B8 }
+// Valid reports whether b is one of the supported widths (including the
+// 32-bit passthrough).
+func (b BitWidth) Valid() bool { return b == B2 || b == B4 || b == B8 || b == B32 }
+
+// Packable reports whether b can be packed into a quantized wire stream
+// (everything Valid except the full-precision passthrough).
+func (b BitWidth) Packable() bool { return b == B2 || b == B4 || b == B8 }
 
 // Levels returns 2^b − 1, the number of quantization steps.
 func (b BitWidth) Levels() uint32 { return (1 << b) - 1 }
@@ -40,8 +50,12 @@ func (b BitWidth) Levels() uint32 { return (1 << b) - 1 }
 // ValuesPerByte returns how many codes fit in one byte.
 func (b BitWidth) ValuesPerByte() int { return 8 / int(b) }
 
-// PackedSize returns the number of bytes needed for n codes at width b.
+// PackedSize returns the number of bytes needed for n codes at width b
+// (raw float32 bytes for the B32 passthrough).
 func (b BitWidth) PackedSize(n int) int {
+	if b == B32 {
+		return 4 * n
+	}
 	vp := b.ValuesPerByte()
 	return (n + vp - 1) / vp
 }
@@ -56,8 +70,12 @@ type RowMeta struct {
 const headerBytes = 8
 
 // WireSize returns the exact number of bytes QuantizeRows produces for
-// rows rows of dim columns at width b.
+// rows rows of dim columns at width b. B32 is the raw full-precision row
+// size (4 bytes per value, no per-row meta).
 func WireSize(rows, dim int, b BitWidth) int {
+	if b == B32 {
+		return rows * 4 * dim
+	}
 	return rows * (headerBytes + b.PackedSize(dim))
 }
 

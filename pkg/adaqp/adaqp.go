@@ -1,0 +1,186 @@
+// Package adaqp is the public API of the AdaQP reproduction: distributed
+// full-graph GNN training with adaptive message quantization and
+// computation–communication parallelization (Wan et al., MLSys 2023),
+// running on an in-process simulated cluster with real numerics.
+//
+// The system is layered behind two seams:
+//
+//	Engine / Session (this package)
+//	    │  functional options, per-epoch callbacks
+//	    ▼
+//	MessageCodec — how boundary messages are encoded and scheduled
+//	    (fp32, uniform, adaptive, random, pipegcn, sancus; extensible
+//	    via RegisterCodec)
+//	    ▼
+//	Transport — how bytes move between devices
+//	    (in-process cluster today; sharded/async backends via
+//	    RegisterTransport)
+//
+// Quickstart:
+//
+//	ds := adaqp.MustLoadDataset("tiny", 1)
+//	eng, err := adaqp.New(ds,
+//	    adaqp.WithParts(4),
+//	    adaqp.WithMethod(adaqp.AdaQP),
+//	    adaqp.WithEpochs(60))
+//	if err != nil { ... }
+//	res, err := eng.Run()
+//
+// One Engine owns one dataset and one partitioning; Sessions derived from
+// it override training options while reusing the deployment, which is how
+// the paper's method comparisons hold the partitioning fixed.
+package adaqp
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/synthetic"
+	"repro/internal/timing"
+)
+
+// Core model/method enums, re-exported so callers never import internals.
+type (
+	// Method selects the training system.
+	Method = core.Method
+	// ModelKind selects the GNN architecture.
+	ModelKind = core.ModelKind
+)
+
+// Training systems.
+const (
+	// Vanilla is synchronous full-precision full-graph training.
+	Vanilla = core.Vanilla
+	// AdaQP is the paper's system: adaptive quantization + overlap.
+	AdaQP = core.AdaQP
+	// AdaQPUniform quantizes every message at WithUniformBits's width.
+	AdaQPUniform = core.AdaQPUniform
+	// AdaQPRandom samples each message's width uniformly from {2,4,8}.
+	AdaQPRandom = core.AdaQPRandom
+	// PipeGCN overlaps communication across iterations via staleness.
+	PipeGCN = core.PipeGCN
+	// SANCUS avoids communication via staleness-bounded broadcasts.
+	SANCUS = core.SANCUS
+)
+
+// GNN architectures.
+const (
+	// GCN uses self-loops + symmetric normalization.
+	GCN = core.GCN
+	// GraphSAGE uses mean aggregation concatenated with self embeddings.
+	GraphSAGE = core.GraphSAGE
+)
+
+// Methods lists every training system in declaration order.
+func Methods() []Method { return core.Methods() }
+
+// ParseMethod is the inverse of Method.String, also accepting CLI short
+// forms ("uniform", "random"), case-insensitively.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParseModelKind is the inverse of ModelKind.String, also accepting "sage".
+func ParseModelKind(s string) (ModelKind, error) { return core.ParseModelKind(s) }
+
+// Partitioning strategies.
+type Strategy = partition.Strategy
+
+const (
+	// LDG is linear deterministic greedy streaming partitioning.
+	LDG = partition.LDG
+	// BlockPartition splits nodes into contiguous equal blocks.
+	BlockPartition = partition.Block
+	// HashPartition scatters nodes pseudo-randomly.
+	HashPartition = partition.Hash
+)
+
+// PartitionStats reports edge cut, balance and the central/marginal
+// decomposition of a deployment.
+type PartitionStats = partition.Stats
+
+// Deployment is a dataset partitioned and wired for distributed training.
+type Deployment = core.Deployment
+
+// Dataset is a loaded graph dataset with features, labels and masks.
+type Dataset = synthetic.Dataset
+
+// LoadDataset loads a registered synthetic dataset at the given scale
+// factor (1 = the registry's reference size).
+func LoadDataset(name string, scale float64) (*Dataset, error) {
+	return synthetic.Load(name, synthetic.Scale(scale))
+}
+
+// MustLoadDataset is LoadDataset, panicking on error.
+func MustLoadDataset(name string, scale float64) *Dataset {
+	return synthetic.MustLoad(name, synthetic.Scale(scale))
+}
+
+// DatasetNames lists the registered dataset names.
+func DatasetNames() []string { return synthetic.Names() }
+
+// CostModel is the simulated hardware calibration (FLOPS, bandwidth,
+// latency, quantization throughput).
+type CostModel = timing.CostModel
+
+// DefaultCostModel returns the V100 / 100 Gbps calibration the paper's
+// testbed uses. Mutate the returned struct to model other hardware.
+func DefaultCostModel() *CostModel { return timing.Default() }
+
+// Training measurements, re-exported from the metrics layer.
+type (
+	// Result is everything one training run produced.
+	Result = metrics.RunResult
+	// EpochStat is one epoch's record (loss, val accuracy, sim time).
+	EpochStat = metrics.EpochStat
+	// Breakdown aggregates simulated time by category.
+	Breakdown = metrics.Breakdown
+	// Summary holds mean ± std over repeated runs.
+	Summary = metrics.Summary
+)
+
+// Summarize aggregates repeated runs of the same configuration.
+func Summarize(runs []*Result) Summary { return metrics.Summarize(runs) }
+
+// MessageCodec is the pluggable boundary-message scheme (see package
+// core's docs for the contract). Custom codecs registered before New are
+// selectable with WithCodec.
+type MessageCodec = core.MessageCodec
+
+// CodecFactory builds one device's codec instance for one run.
+type CodecFactory = core.CodecFactory
+
+// RegisterCodec makes a message codec selectable by name.
+func RegisterCodec(name string, f CodecFactory) { core.RegisterCodec(name, f) }
+
+// LookupCodec resolves a registered codec factory (useful for wrapping or
+// delegating to built-in codecs from custom ones).
+func LookupCodec(name string) (CodecFactory, error) { return core.LookupCodec(name) }
+
+// Codecs lists the registered message codecs, sorted.
+func Codecs() []string { return core.CodecNames() }
+
+// Built-in codec names.
+const (
+	CodecFP32     = core.CodecFP32
+	CodecUniform  = core.CodecUniform
+	CodecRandom   = core.CodecRandom
+	CodecAdaptive = core.CodecAdaptive
+	CodecPipeGCN  = core.CodecPipeGCN
+	CodecSancus   = core.CodecSancus
+)
+
+// Transport is the device-side communication surface; Runtime launches
+// one Transport per device.
+type (
+	Transport      = core.Transport
+	Runtime        = core.Runtime
+	RuntimeFactory = core.RuntimeFactory
+)
+
+// RegisterTransport makes a runtime backend selectable by name.
+func RegisterTransport(name string, f RuntimeFactory) { core.RegisterTransport(name, f) }
+
+// Transports lists the registered runtime backends, sorted.
+func Transports() []string { return core.TransportNames() }
+
+// TransportInprocess is the default in-process backend.
+const TransportInprocess = core.TransportInprocess

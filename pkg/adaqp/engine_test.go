@@ -1,0 +1,306 @@
+package adaqp_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/pkg/adaqp"
+)
+
+// tinyOpts is a fast configuration shared by the training tests.
+func tinyOpts(extra ...adaqp.Option) []adaqp.Option {
+	base := []adaqp.Option{
+		adaqp.WithParts(3),
+		adaqp.WithHidden(32),
+		adaqp.WithEpochs(8),
+		adaqp.WithEvalEvery(4),
+		adaqp.WithReassignPeriod(5),
+		adaqp.WithGroupSize(10),
+	}
+	return append(base, extra...)
+}
+
+func TestNewDefaults(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := eng.Deployment()
+	if dep.Assignment.Parts != 4 {
+		t.Fatalf("default parts = %d, want 4", dep.Assignment.Parts)
+	}
+	if eng.Dataset() != ds {
+		t.Fatal("Dataset accessor lost the dataset")
+	}
+	if _, err := adaqp.New(nil); err == nil {
+		t.Fatal("nil dataset must be rejected")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	bad := map[string]adaqp.Option{
+		"parts":     adaqp.WithParts(0),
+		"epochs":    adaqp.WithEpochs(0),
+		"layers":    adaqp.WithLayers(0),
+		"hidden":    adaqp.WithHidden(-1),
+		"lr":        adaqp.WithLR(0),
+		"dropout":   adaqp.WithDropout(1.5),
+		"lambda":    adaqp.WithLambda(2),
+		"group":     adaqp.WithGroupSize(0),
+		"period":    adaqp.WithReassignPeriod(0),
+		"bits":      adaqp.WithUniformBits(3),
+		"seed":      adaqp.WithSeed(0),
+		"eval":      adaqp.WithEvalEvery(-1),
+		"sancus":    adaqp.WithSancus(0, 0),
+		"costmodel": adaqp.WithCostModel(nil),
+		"method":    adaqp.WithMethod(adaqp.Method(42)),
+		"model":     adaqp.WithModel(adaqp.ModelKind(42)),
+	}
+	for name, opt := range bad {
+		if _, err := adaqp.New(ds, opt); err == nil {
+			t.Fatalf("option %q with an invalid value must error", name)
+		}
+	}
+}
+
+func TestUnknownCodecAndTransportRejected(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	_, err := adaqp.New(ds, adaqp.WithCodec("no-such-codec"))
+	if err == nil || !strings.Contains(err.Error(), "no-such-codec") {
+		t.Fatalf("unknown codec must be rejected by name: %v", err)
+	}
+	_, err = adaqp.New(ds, adaqp.WithTransport("no-such-transport"))
+	if err == nil || !strings.Contains(err.Error(), "no-such-transport") {
+		t.Fatalf("unknown transport must be rejected by name: %v", err)
+	}
+}
+
+func TestCodecRegistryLookup(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range adaqp.Codecs() {
+		have[n] = true
+	}
+	for _, want := range []string{
+		adaqp.CodecFP32, adaqp.CodecUniform, adaqp.CodecAdaptive,
+		adaqp.CodecSancus, adaqp.CodecRandom, adaqp.CodecPipeGCN,
+	} {
+		if !have[want] {
+			t.Fatalf("codec %q missing from registry: %v", want, adaqp.Codecs())
+		}
+	}
+	if _, err := adaqp.LookupCodec(adaqp.CodecSancus); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adaqp.LookupCodec("bogus"); err == nil {
+		t.Fatal("unknown codec lookup must error")
+	}
+}
+
+// TestCustomCodecRegistration registers a delegating codec under a new
+// name and trains with it: the registry, not the Method switch, selects
+// the scheme, so the run must match the built-in bit for bit.
+func TestCustomCodecRegistration(t *testing.T) {
+	fp32, err := adaqp.LookupCodec(adaqp.CodecFP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaqp.RegisterCodec("test-delegating-fp32", fp32)
+
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, tinyOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Run(adaqp.WithMethod(adaqp.Vanilla))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(adaqp.WithMethod(adaqp.Vanilla), adaqp.WithCodec("test-delegating-fp32"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Codec != "test-delegating-fp32" {
+		t.Fatalf("run did not record the custom codec: %q", got.Codec)
+	}
+	for i := range ref.Epochs {
+		if ref.Epochs[i].Loss != got.Epochs[i].Loss {
+			t.Fatalf("epoch %d: custom codec diverged (%v vs %v)", i, got.Epochs[i].Loss, ref.Epochs[i].Loss)
+		}
+	}
+}
+
+// TestFP32PassthroughParity: quantized exchange at the 32-bit passthrough
+// must reproduce the fp32 codec's loss trajectory exactly — only the
+// simulated schedule (overlap vs serial) may differ.
+func TestFP32PassthroughParity(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, tinyOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := eng.Run(adaqp.WithMethod(adaqp.Vanilla))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := eng.Run(adaqp.WithMethod(adaqp.AdaQPUniform), adaqp.WithUniformBits(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Epochs) != len(pass.Epochs) {
+		t.Fatalf("epoch count mismatch: %d vs %d", len(fp.Epochs), len(pass.Epochs))
+	}
+	for i := range fp.Epochs {
+		if fp.Epochs[i].Loss != pass.Epochs[i].Loss {
+			t.Fatalf("epoch %d: passthrough loss %v != fp32 loss %v",
+				i, pass.Epochs[i].Loss, fp.Epochs[i].Loss)
+		}
+	}
+	if fp.FinalTest != pass.FinalTest {
+		t.Fatalf("final test accuracy differs: %v vs %v", pass.FinalTest, fp.FinalTest)
+	}
+	// And a genuinely quantized width must NOT match — the parity above is
+	// meaningful only if quantization normally changes the trajectory.
+	q2, err := eng.Run(adaqp.WithMethod(adaqp.AdaQPUniform), adaqp.WithUniformBits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Epochs[len(q2.Epochs)-1].Loss == fp.Epochs[len(fp.Epochs)-1].Loss {
+		t.Fatal("2-bit run should diverge from fp32")
+	}
+}
+
+func TestEpochCallback(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	var seen []adaqp.EpochStat
+	eng, err := adaqp.New(ds, tinyOpts(
+		adaqp.WithMethod(adaqp.AdaQP),
+		adaqp.WithEpochCallback(func(e adaqp.EpochStat) { seen = append(seen, e) }))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Epochs) {
+		t.Fatalf("callback saw %d epochs, result has %d", len(seen), len(res.Epochs))
+	}
+	sameAcc := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for i, e := range seen {
+		r := res.Epochs[i]
+		if e.Epoch != r.Epoch || e.Loss != r.Loss || e.SimTime != r.SimTime || !sameAcc(e.ValAcc, r.ValAcc) {
+			t.Fatalf("epoch %d: callback stat %+v != recorded %+v", i, e, r)
+		}
+		if i > 0 && e.SimTime < seen[i-1].SimTime {
+			t.Fatalf("epoch %d: simulated time went backwards", i)
+		}
+	}
+}
+
+func TestSessionsShareDeployment(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, tinyOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Session(adaqp.WithMethod(adaqp.Vanilla))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Session(adaqp.WithMethod(adaqp.SANCUS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Deployment() != b.Deployment() {
+		t.Fatal("method overrides must reuse the engine's partitioning")
+	}
+	c, err := eng.Session(adaqp.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep := c.Deployment(); dep.Assignment.Parts != 2 {
+		t.Fatalf("parts override ignored: %d", dep.Assignment.Parts)
+	}
+}
+
+func TestEngineRunRecordsCodec(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, tinyOpts(adaqp.WithMethod(adaqp.AdaQP))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Codec != adaqp.CodecAdaptive {
+		t.Fatalf("AdaQP run recorded codec %q, want %q", res.Codec, adaqp.CodecAdaptive)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if math.IsNaN(last.Loss) || math.IsInf(last.Loss, 0) {
+		t.Fatalf("non-finite loss %v", last.Loss)
+	}
+	if res.WallClock <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestAnalyzeAndPairBytes(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, adaqp.WithParts(4), adaqp.WithHidden(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Analyze(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != 4 {
+		t.Fatalf("want 4 device reports, got %d", len(rep))
+	}
+	if _, err := eng.Analyze(5); err == nil {
+		t.Fatal("invalid bit-width must error")
+	}
+	// The 32-bit passthrough must analyze as full precision, not panic in
+	// the packing size math.
+	fp, err := eng.Analyze(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep {
+		if fp[i].CommSeconds <= rep[i].CommSeconds {
+			t.Fatalf("device %d: full-precision comm %v not above 2-bit %v",
+				i, fp[i].CommSeconds, rep[i].CommSeconds)
+		}
+	}
+	pairs := eng.PairBytes()
+	var total int
+	for _, row := range pairs {
+		for _, b := range row {
+			total += b
+		}
+	}
+	if total <= 0 {
+		t.Fatal("no cross-device traffic reported for a 4-way partition")
+	}
+}
+
+func TestParseRoundTripPublic(t *testing.T) {
+	for _, m := range adaqp.Methods() {
+		got, err := adaqp.ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, k := range []adaqp.ModelKind{adaqp.GCN, adaqp.GraphSAGE} {
+		got, err := adaqp.ParseModelKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseModelKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+}

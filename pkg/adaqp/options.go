@@ -1,0 +1,261 @@
+package adaqp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/quant"
+	"repro/internal/timing"
+)
+
+// settings is the resolved configuration an Engine or Session runs with.
+type settings struct {
+	cfg      core.Config
+	parts    int
+	strategy partition.Strategy
+	model    *timing.CostModel // nil = DefaultCostModel
+}
+
+func defaultSettings() settings {
+	return settings{cfg: core.DefaultConfig(), parts: 4, strategy: partition.Block}
+}
+
+// An Option configures an Engine at New or overrides it per Session/Run.
+type Option func(*settings) error
+
+func (s *settings) apply(opts []Option) error {
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return err
+		}
+	}
+	return s.cfg.Validate()
+}
+
+// WithParts sets the number of simulated devices the graph is partitioned
+// across (default 4).
+func WithParts(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("adaqp: parts must be >= 1, got %d", n)
+		}
+		s.parts = n
+		return nil
+	}
+}
+
+// WithMethod selects the training system (default Vanilla).
+func WithMethod(m Method) Option {
+	return func(s *settings) error {
+		if _, err := core.CodecForMethod(m); err != nil {
+			return fmt.Errorf("adaqp: %w", err)
+		}
+		s.cfg.Method = m
+		return nil
+	}
+}
+
+// WithModel selects the GNN architecture (default GCN).
+func WithModel(k ModelKind) Option {
+	return func(s *settings) error {
+		if k != GCN && k != GraphSAGE {
+			return fmt.Errorf("adaqp: unknown model kind %d", int(k))
+		}
+		s.cfg.Model = k
+		return nil
+	}
+}
+
+// WithPartitioner selects the partitioning strategy (default block).
+func WithPartitioner(st Strategy) Option {
+	return func(s *settings) error {
+		s.strategy = st
+		return nil
+	}
+}
+
+// WithCostModel replaces the simulated hardware calibration.
+func WithCostModel(m *CostModel) Option {
+	return func(s *settings) error {
+		if m == nil {
+			return fmt.Errorf("adaqp: nil cost model")
+		}
+		s.model = m
+		return nil
+	}
+}
+
+// WithCodec overrides the message codec (any name in Codecs()); the
+// empty default derives the codec from the method.
+func WithCodec(name string) Option {
+	return func(s *settings) error {
+		s.cfg.Codec = name
+		return nil
+	}
+}
+
+// WithTransport selects the runtime backend (any name in Transports()).
+func WithTransport(name string) Option {
+	return func(s *settings) error {
+		s.cfg.Transport = name
+		return nil
+	}
+}
+
+// WithEpochs sets the training epoch budget.
+func WithEpochs(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("adaqp: epochs must be >= 1, got %d", n)
+		}
+		s.cfg.Epochs = n
+		return nil
+	}
+}
+
+// WithLayers sets the number of GNN layers (default 3).
+func WithLayers(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("adaqp: layers must be >= 1, got %d", n)
+		}
+		s.cfg.Layers = n
+		return nil
+	}
+}
+
+// WithHidden sets the hidden dimension (default 256).
+func WithHidden(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("adaqp: hidden must be >= 1, got %d", n)
+		}
+		s.cfg.Hidden = n
+		return nil
+	}
+}
+
+// WithLR sets the Adam learning rate (default 0.01).
+func WithLR(lr float64) Option {
+	return func(s *settings) error {
+		if lr <= 0 {
+			return fmt.Errorf("adaqp: learning rate must be positive, got %v", lr)
+		}
+		s.cfg.LR = float32(lr)
+		return nil
+	}
+}
+
+// WithDropout sets the dropout probability (default 0.5).
+func WithDropout(p float64) Option {
+	return func(s *settings) error {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("adaqp: dropout must be in [0,1), got %v", p)
+		}
+		s.cfg.Dropout = float32(p)
+		return nil
+	}
+}
+
+// WithLambda sets the variance/time trade-off λ ∈ [0,1] of the bit-width
+// assigner's bi-objective (default 0.5).
+func WithLambda(l float64) Option {
+	return func(s *settings) error {
+		s.cfg.Lambda = l
+		return nil
+	}
+}
+
+// WithGroupSize sets the assigner's message group size (default 100).
+func WithGroupSize(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("adaqp: group size must be >= 1, got %d", n)
+		}
+		s.cfg.GroupSize = n
+		return nil
+	}
+}
+
+// WithReassignPeriod sets the bit-width re-assignment period in epochs
+// (default 50).
+func WithReassignPeriod(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("adaqp: reassign period must be >= 1, got %d", n)
+		}
+		s.cfg.ReassignPeriod = n
+		return nil
+	}
+}
+
+// parseBits converts an integer width into the quant layer's type.
+func parseBits(bits int) (quant.BitWidth, error) {
+	b := quant.BitWidth(bits)
+	if !b.Valid() {
+		return 0, fmt.Errorf("adaqp: bit-width must be 2, 4, 8 or 32, got %d", bits)
+	}
+	return b, nil
+}
+
+// WithUniformBits sets the width AdaQPUniform (and the uniform codec)
+// quantizes at: 2, 4, 8, or 32 for the full-precision passthrough.
+func WithUniformBits(bits int) Option {
+	return func(s *settings) error {
+		b, err := parseBits(bits)
+		if err != nil {
+			return err
+		}
+		s.cfg.UniformBits = b
+		return nil
+	}
+}
+
+// WithSancus sets SANCUS's staleness controls: re-broadcast when relative
+// drift exceeds drift, or at the latest every maxStale epochs.
+func WithSancus(drift float64, maxStale int) Option {
+	return func(s *settings) error {
+		if drift <= 0 || maxStale < 1 {
+			return fmt.Errorf("adaqp: sancus drift must be positive and maxStale >= 1")
+		}
+		s.cfg.SancusDrift = drift
+		s.cfg.SancusMaxStale = maxStale
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving weight init, dropout and stochastic
+// rounding (default 1).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) error {
+		if seed == 0 {
+			return fmt.Errorf("adaqp: seed must be non-zero")
+		}
+		s.cfg.Seed = seed
+		return nil
+	}
+}
+
+// WithEvalEvery sets how often validation accuracy is recorded; 0
+// disables periodic evaluation (final test accuracy is always computed).
+func WithEvalEvery(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("adaqp: eval-every must be >= 0, got %d", n)
+		}
+		s.cfg.EvalEvery = n
+		return nil
+	}
+}
+
+// WithEpochCallback registers fn to receive each epoch's record as
+// training progresses (called once per epoch, after the codec's
+// end-of-epoch protocol). The callback must not start another run on the
+// same Engine.
+func WithEpochCallback(fn func(EpochStat)) Option {
+	return func(s *settings) error {
+		s.cfg.EpochHook = fn
+		return nil
+	}
+}
