@@ -206,6 +206,32 @@ func BenchmarkEpochAdaQP(b *testing.B) {
 	}
 }
 
+// BenchmarkEpochTransports measures one training epoch per registered
+// runtime backend through the Engine API — the per-backend cost of the
+// transport seam itself — plus the sharded-async backend with a bounded
+// worker pool and a relaxed staleness bound (its async fast path).
+func BenchmarkEpochTransports(b *testing.B) {
+	run := func(b *testing.B, opts ...adaqp.Option) {
+		b.Helper()
+		eng := benchEngine(b, 2, opts...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, tr := range adaqp.Transports() {
+		b.Run(tr, func(b *testing.B) { run(b, adaqp.WithTransport(tr)) })
+	}
+	b.Run("sharded-async-stale8", func(b *testing.B) {
+		run(b,
+			adaqp.WithTransport(adaqp.TransportShardedAsync),
+			adaqp.WithWorkers(2),
+			adaqp.WithStalenessBound(8))
+	})
+}
+
 // BenchmarkEpochCodecs measures one training epoch per registered codec
 // through the Engine API — the per-scheme cost of the codec seam itself.
 func BenchmarkEpochCodecs(b *testing.B) {

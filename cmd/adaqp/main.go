@@ -6,6 +6,10 @@
 //	adaqp -dataset products-sim -model gcn -method adaqp -parts 4 -epochs 100
 //	adaqp -dataset yelp-sim -model sage -method pipegcn -parts 8
 //	adaqp -dataset tiny -method vanilla -codec uniform -bits 8
+//	adaqp -dataset tiny -method sancus -transport sharded-async -staleness 8 -workers 4
+//
+// The -method, -codec, -transport and -dataset usage strings list whatever
+// is currently registered, so custom registrations show up automatically.
 package main
 
 import (
@@ -23,8 +27,11 @@ func main() {
 		dataset  = flag.String("dataset", "tiny", "dataset name: "+strings.Join(adaqp.DatasetNames(), ", "))
 		scale    = flag.Float64("scale", 1, "dataset scale factor")
 		model    = flag.String("model", "gcn", "gcn | sage")
-		method   = flag.String("method", "adaqp", "vanilla | adaqp | uniform | random | pipegcn | sancus")
+		method   = flag.String("method", "adaqp", "training system: "+strings.Join(methodNames(), ", "))
 		codec    = flag.String("codec", "", "message codec override: "+strings.Join(adaqp.Codecs(), ", "))
+		tport    = flag.String("transport", "", "runtime backend: "+strings.Join(adaqp.Transports(), ", "))
+		workers  = flag.Int("workers", 0, "worker pool size for pooled transports (0 = one per CPU)")
+		stale    = flag.Int("staleness", 0, "collectives a device may run ahead on async transports")
 		parts    = flag.Int("parts", 4, "number of devices")
 		epochs   = flag.Int("epochs", 100, "training epochs")
 		hidden   = flag.Int("hidden", 256, "hidden dimension")
@@ -78,6 +85,15 @@ func main() {
 	if *codec != "" {
 		opts = append(opts, adaqp.WithCodec(*codec))
 	}
+	if *tport != "" {
+		opts = append(opts, adaqp.WithTransport(*tport))
+	}
+	if *workers != 0 {
+		opts = append(opts, adaqp.WithWorkers(*workers))
+	}
+	if *stale != 0 {
+		opts = append(opts, adaqp.WithStalenessBound(*stale))
+	}
 
 	eng, err := adaqp.New(ds, opts...)
 	if err != nil {
@@ -97,6 +113,16 @@ func main() {
 	fmt.Printf("wall-clock       %.2fs (assign %.2fs)\n", res.WallClock, res.AssignTime)
 	fmt.Printf("per-epoch        comm %.4fs  comp %.4fs  quant %.4fs  idle %.4fs\n",
 		per.Comm, per.Comp, per.Quant, per.Idle)
+}
+
+// methodNames lists the accepted -method values from the Method registry
+// (ParseMethod is case-insensitive, so usage shows the lowercase forms).
+func methodNames() []string {
+	var names []string
+	for _, m := range adaqp.Methods() {
+		names = append(names, strings.ToLower(m.String()))
+	}
+	return names
 }
 
 func fatal(err error) {

@@ -1,0 +1,203 @@
+// Command benchdiff converts `go test -bench` output into the repo's
+// BENCH_N.json schema and gates CI on ns/op regressions against a
+// committed baseline.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem | tee bench.txt
+//	go run ./cmd/benchdiff -input bench.txt -out BENCH_4.json \
+//	    -baseline BENCH_1.json -threshold 2.5
+//
+// The tool exits non-zero when any benchmark present in both files slowed
+// down by more than the threshold factor, or when a baseline benchmark
+// disappeared (pass -allow-missing to tolerate renames). Single-iteration
+// benchtime=1x timings are coarse, so the threshold guards the trajectory,
+// not the noise floor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// benchEntry is one benchmark's measurements, matching the BENCH_N.json
+// schema introduced with BENCH_1.json.
+type benchEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH_N.json document.
+type benchFile struct {
+	Note       string                `json:"note"`
+	Go         string                `json:"go"`
+	Goos       string                `json:"goos"`
+	Goarch     string                `json:"goarch"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+// "BenchmarkSpMM-8   1   2651570 ns/op   592 B/op   18 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		input        = flag.String("input", "-", "benchmark text output to parse (- = stdin)")
+		out          = flag.String("out", "", "write the parsed results as BENCH_N.json to this path")
+		baseline     = flag.String("baseline", "", "baseline BENCH_N.json to compare against")
+		threshold    = flag.Float64("threshold", 2.5, "fail when new ns/op exceeds baseline by this factor")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the new run")
+		note         = flag.String("note", "", "note field for the emitted JSON")
+	)
+	flag.Parse()
+
+	entries, err := parseBench(*input)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in %s", *input))
+	}
+	if *out != "" {
+		doc := benchFile{
+			Note:       *note,
+			Go:         runtime.Version(),
+			Goos:       runtime.GOOS,
+			Goarch:     runtime.GOARCH,
+			Benchmarks: entries,
+		}
+		if doc.Note == "" {
+			doc.Note = fmt.Sprintf("Benchmark run (%d benchmarks, benchdiff). Single-iteration timings: coarse, for trajectory only.", len(entries))
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(entries), *out)
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if failed := compare(base.Benchmarks, entries, *threshold, *allowMissing); failed {
+		os.Exit(1)
+	}
+}
+
+func parseBench(path string) (map[string]benchEntry, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	entries := map[string]benchEntry{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		e := benchEntry{NsPerOp: int64(ns)}
+		if m[3] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		entries[m[1]] = e
+	}
+	return entries, nil
+}
+
+func readBaseline(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// compare prints a ratio table and returns true when the gate should fail.
+func compare(base, cur map[string]benchEntry, threshold float64, allowMissing bool) bool {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var regressions, missing []string
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "baseline ns", "current ns", "ratio")
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			missing = append(missing, n)
+			fmt.Printf("%-44s %14d %14s %8s\n", n, b.NsPerOp, "MISSING", "-")
+			continue
+		}
+		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		mark := ""
+		if ratio > threshold {
+			regressions = append(regressions, n)
+			mark = "  << REGRESSION"
+		}
+		fmt.Printf("%-44s %14d %14d %7.2fx%s\n", n, b.NsPerOp, c.NsPerOp, ratio, mark)
+	}
+	var added []string
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	for _, n := range added {
+		fmt.Printf("%-44s %14s %14d %8s\n", n, "(new)", cur[n].NsPerOp, "-")
+	}
+	failed := false
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.2fx: %v\n", len(regressions), threshold, regressions)
+		failed = true
+	}
+	if len(missing) > 0 {
+		if allowMissing {
+			fmt.Fprintf(os.Stderr, "benchdiff: ignoring %d missing baseline benchmark(s): %v\n", len(missing), missing)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d baseline benchmark(s) missing from the new run: %v\n", len(missing), missing)
+			failed = true
+		}
+	}
+	return failed
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

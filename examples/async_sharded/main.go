@@ -1,0 +1,91 @@
+// Async sharded transport demo: the same SANCUS training run on the
+// in-process synchronous backend and on sharded-async at increasing
+// staleness bounds. Payloads are sequence-matched (never stale data), so
+// every configuration reproduces the identical loss curve — what changes
+// is the simulated schedule. SANCUS's sequential broadcasts charge every
+// synchronous device the full serialization; with a positive staleness
+// bound a receiver leaves the collective as soon as its own prefix of the
+// broadcast lands, so early-rank devices spend far less time on the wire
+// and the freed time surfaces as overlap slack (Idle at the epoch
+// barrier) that computation or later collectives can fill. A straggler is
+// induced by slowing one device's links in the cost model.
+//
+//	go run ./examples/async_sharded
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/adaqp"
+)
+
+func main() {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	fmt.Printf("dataset: %v\n\n", ds)
+
+	const parts = 4
+	// Slow every link out of device 3 to 1/4 bandwidth: the straggler whose
+	// broadcasts the async backend lets the others overlap.
+	model := adaqp.DefaultCostModel()
+	theta := make([][]float64, parts)
+	for s := range theta {
+		theta[s] = make([]float64, parts)
+		for d := range theta[s] {
+			theta[s][d] = 1 / model.Bandwidth
+			if s == parts-1 {
+				theta[s][d] *= 4
+			}
+		}
+	}
+	model.PairTheta = theta
+
+	eng, err := adaqp.New(ds,
+		adaqp.WithParts(parts),
+		adaqp.WithMethod(adaqp.SANCUS),
+		adaqp.WithHidden(32),
+		adaqp.WithEpochs(40),
+		adaqp.WithEvalEvery(0),
+		adaqp.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type cfg struct {
+		label string
+		opts  []adaqp.Option
+	}
+	cases := []cfg{
+		{"inprocess (sync)", []adaqp.Option{adaqp.WithTransport(adaqp.TransportInprocess)}},
+		{"sharded-async s=0", []adaqp.Option{adaqp.WithTransport(adaqp.TransportShardedAsync)}},
+		{"sharded-async s=4", []adaqp.Option{
+			adaqp.WithTransport(adaqp.TransportShardedAsync), adaqp.WithStalenessBound(4)}},
+		{"sharded-async s=16 w=2", []adaqp.Option{
+			adaqp.WithTransport(adaqp.TransportShardedAsync),
+			adaqp.WithStalenessBound(16), adaqp.WithWorkers(2)}},
+	}
+
+	fmt.Printf("%-24s %12s %13s %13s %14s\n", "transport", "wall-clock", "comm(dev 0)", "slack(dev 0)", "final loss")
+	var refLoss float64
+	var refComm adaqp.Seconds
+	for i, c := range cases {
+		res, err := eng.Run(c.opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev0 := res.PerDevice[0]
+		loss := res.Epochs[len(res.Epochs)-1].Loss
+		fmt.Printf("%-24s %11.3fs %12.3fs %12.3fs %14.6f\n",
+			c.label, res.WallClock, dev0.Comm, dev0.Idle, loss)
+		if i == 0 {
+			refLoss, refComm = loss, dev0.Comm
+		} else if loss != refLoss {
+			log.Fatalf("%s diverged from the synchronous loss (%v vs %v)", c.label, loss, refLoss)
+		}
+		if i == len(cases)-1 && dev0.Comm >= refComm {
+			log.Fatalf("staleness bound did not reduce device 0's wire time (%v vs %v)", dev0.Comm, refComm)
+		}
+	}
+	fmt.Println("\nall transports converged to the bit-identical loss curve; the")
+	fmt.Println("staleness bound only trades receivers' wire time for overlap slack.")
+}

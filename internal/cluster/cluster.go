@@ -125,6 +125,13 @@ func (d *Device) Clock() *timing.Clock { return d.c.clocks[d.rank] }
 // Model returns the shared cost model.
 func (d *Device) Model() *timing.CostModel { return d.c.model }
 
+// DeviceRNG derives device rank's private deterministic RNG for a run
+// seeded with seed. Every runtime backend must use this same derivation so
+// training results are bit-identical across transports.
+func DeviceRNG(seed uint64, rank int) *tensor.RNG {
+	return tensor.NewRNG(seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))
+}
+
 // Run starts n goroutines executing body and waits for all to finish.
 // Each device gets an RNG derived from seed and its rank. The first
 // non-nil error is returned.
@@ -135,7 +142,7 @@ func (c *Cluster) Run(seed uint64, body func(*Device) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			dev := &Device{c: c, rank: rank, RNG: tensor.NewRNG(seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))}
+			dev := &Device{c: c, rank: rank, RNG: DeviceRNG(seed, rank)}
 			errs[rank] = body(dev)
 		}(r)
 	}
@@ -185,18 +192,18 @@ func (d *Device) RingAll2All(payloads [][]byte) [][]byte {
 		}
 	}
 	c.barrier.wait()
-	for round := 1; round < n; round++ {
-		dst := (d.rank + round) % n
-		// Round time = slowest pair in this round (synchronized rounds).
-		var roundTime timing.Seconds
-		for src := 0; src < n; src++ {
-			sdst := (src + round) % n
-			t := c.model.TransferTime(src, sdst, len(c.exchange[src][sdst]))
-			if t > roundTime {
-				roundTime = t
+	sizes := make([][]int, n)
+	for src := 0; src < n; src++ {
+		sizes[src] = make([]int, n)
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				sizes[src][dst] = len(c.exchange[src][dst])
 			}
 		}
-		d.Clock().Advance(timing.Comm, roundTime)
+	}
+	for round := 1; round < n; round++ {
+		dst := (d.rank + round) % n
+		d.Clock().Advance(timing.Comm, All2AllRoundTime(c.model, sizes, round))
 		c.bytesMu.Lock()
 		c.bytesMoved[d.rank][dst] += int64(len(c.exchange[d.rank][dst]))
 		c.bytesMu.Unlock()
@@ -211,6 +218,24 @@ func (d *Device) RingAll2All(payloads [][]byte) [][]byte {
 	return received
 }
 
+// All2AllRoundTime returns ring round `round`'s cost for the given
+// per-destination sizes (bytes[src][dst]): the slowest pair of that round
+// (synchronized rounds — the straggler effect of §2.2). Every runtime
+// backend must charge this same schedule, round by round in order, so
+// simulated clocks stay bit-identical across transports.
+func All2AllRoundTime(model *timing.CostModel, bytes [][]int, round int) timing.Seconds {
+	n := len(bytes)
+	var roundTime timing.Seconds
+	for src := 0; src < n; src++ {
+		dst := (src + round) % n
+		t := model.TransferTime(src, dst, bytes[src][dst])
+		if t > roundTime {
+			roundTime = t
+		}
+	}
+	return roundTime
+}
+
 // All2AllTime returns what one RingAll2All with the given per-destination
 // sizes (bytes[src][dst]) would cost, without moving data. Used by the
 // bit-width assigner's time objective and by schedulers that overlap
@@ -219,17 +244,22 @@ func All2AllTime(model *timing.CostModel, bytes [][]int) timing.Seconds {
 	n := len(bytes)
 	var total timing.Seconds
 	for round := 1; round < n; round++ {
-		var roundTime timing.Seconds
-		for src := 0; src < n; src++ {
-			dst := (src + round) % n
-			t := model.TransferTime(src, dst, bytes[src][dst])
-			if t > roundTime {
-				roundTime = t
-			}
-		}
-		total += roundTime
+		total += All2AllRoundTime(model, bytes, round)
 	}
 	return total
+}
+
+// AllReduceTime returns what one device's share of a ring allreduce over
+// bytes payload bytes costs on an n-device runtime: the bandwidth-optimal
+// 2·(N−1)/N · bytes · θ + 2·(N−1)·γ. Every runtime backend must charge
+// this same formula so simulated clocks stay identical across transports.
+func AllReduceTime(model *timing.CostModel, n, rank, bytes int) timing.Seconds {
+	if n <= 1 {
+		return 0
+	}
+	frac := 2 * float64(n-1) / float64(n)
+	return timing.Seconds(frac*float64(bytes)*model.Theta(rank, (rank+1)%n)) +
+		timing.Seconds(2*float64(n-1)*model.Gamma())
 }
 
 // AllReduceSum sums the given matrices elementwise across devices; every
@@ -254,12 +284,7 @@ func (d *Device) AllReduceSum(ms []*tensor.Matrix) {
 	for _, m := range ms {
 		bytes += len(m.Data) * 4
 	}
-	if c.n > 1 {
-		frac := 2 * float64(c.n-1) / float64(c.n)
-		t := timing.Seconds(frac*float64(bytes)*c.model.Theta(d.rank, (d.rank+1)%c.n)) +
-			timing.Seconds(2*float64(c.n-1)*c.model.Gamma())
-		d.Clock().Advance(timing.Comm, t)
-	}
+	d.Clock().Advance(timing.Comm, AllReduceTime(c.model, c.n, d.rank, bytes))
 	c.barrier.wait()
 	for i := range ms {
 		ms[i].CopyFrom(sums[i])

@@ -155,6 +155,16 @@ type Config struct {
 	// RegisterTransport. Empty selects the in-process cluster.
 	Transport string
 
+	// TransportWorkers bounds how many devices execute concurrently on
+	// transports that multiplex devices onto a worker pool (sharded-async).
+	// 0 means one worker per available CPU.
+	TransportWorkers int
+
+	// TransportStaleness is how many collective operations a device may
+	// run ahead of the slowest straggler on async transports. 0 keeps
+	// lockstep semantics, bit-identical to the in-process cluster.
+	TransportStaleness int
+
 	// EpochHook, when non-nil, receives each epoch's record as training
 	// progresses (called once per epoch, from the rank-0 device goroutine,
 	// after the codec's end-of-epoch protocol). It must not start another
@@ -240,6 +250,12 @@ func (c *Config) validate() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.TransportWorkers < 0 {
+		return fmt.Errorf("core: transport workers must be >= 0, got %d", c.TransportWorkers)
+	}
+	if c.TransportStaleness < 0 {
+		return fmt.Errorf("core: transport staleness must be >= 0, got %d", c.TransportStaleness)
 	}
 	return nil
 }

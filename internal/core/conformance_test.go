@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/synthetic"
+)
+
+// TestTransportConformance runs every registered backend through the
+// collective-contract suite at two cluster sizes.
+func TestTransportConformance(t *testing.T) {
+	for _, name := range TransportNames() {
+		f, err := LookupTransport(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parts := range []int{2, 4} {
+			vs := ConformTransport(f, parts)
+			for _, v := range vs {
+				t.Errorf("%s parts=%d: %v", name, parts, v)
+			}
+		}
+	}
+}
+
+// TestShardedWorkerPoolConformance pins that multiplexing devices onto a
+// worker pool smaller than the device count changes neither semantics nor
+// simulated time — even a single execution slot must conform.
+func TestShardedWorkerPoolConformance(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		f := func(spec TransportSpec) Runtime {
+			spec.Workers = workers
+			return newShardedRuntime(spec)
+		}
+		for _, v := range ConformTransport(f, 5) {
+			t.Errorf("workers=%d: %v", workers, v)
+		}
+	}
+}
+
+// confTrainConfig is a small fixed-seed training scenario every backend
+// must reproduce bit-for-bit.
+func confTrainConfig(codec string) Config {
+	cfg := DefaultConfig()
+	cfg.Codec = codec
+	cfg.Epochs = 6
+	cfg.Hidden = 32
+	cfg.EvalEvery = 3
+	cfg.ReassignPeriod = 2 // exercise AdaQP's gather/scatter re-assignment
+	cfg.SancusMaxStale = 2
+	return cfg
+}
+
+func confTrain(t *testing.T, dep *Deployment, cfg Config) *metrics.RunResult {
+	t.Helper()
+	res, err := TrainDeployed(dep, cfg, nil)
+	if err != nil {
+		t.Fatalf("transport %q codec %q: %v", cfg.Transport, cfg.Codec, err)
+	}
+	return res
+}
+
+// TestTransportLossParity trains the same fixed-seed scenario on every
+// registered transport with every registered codec and requires
+// bit-identical loss curves, epoch sim-times, final accuracy and byte
+// accounting at staleness 0.
+func TestTransportLossParity(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	for _, codec := range CodecNames() {
+		ref := confTrain(t, dep, confTrainConfig(codec))
+		for _, name := range TransportNames() {
+			if name == TransportInprocess {
+				continue
+			}
+			cfg := confTrainConfig(codec)
+			cfg.Transport = name
+			got := confTrain(t, dep, cfg)
+			compareRuns(t, name+"/"+codec, ref, got, true)
+		}
+	}
+}
+
+// TestShardedStalenessLossParity pins the async guarantee: because
+// payloads are sequence-matched (never stale data), loss curves and final
+// accuracy stay bit-identical at any staleness bound and worker count —
+// only the simulated time changes.
+func TestShardedStalenessLossParity(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	for _, codec := range []string{CodecAdaptive, CodecSancus} {
+		ref := confTrain(t, dep, confTrainConfig(codec))
+		for _, stale := range []int{1, 4, 16} {
+			cfg := confTrainConfig(codec)
+			cfg.Transport = TransportShardedAsync
+			cfg.TransportStaleness = stale
+			cfg.TransportWorkers = 2
+			got := confTrain(t, dep, cfg)
+			compareRuns(t, codec, ref, got, false)
+		}
+	}
+}
+
+// compareRuns requires bit-identical convergence; withTime additionally
+// requires identical simulated clocks (only guaranteed at staleness 0).
+func compareRuns(t *testing.T, label string, ref, got *metrics.RunResult, withTime bool) {
+	t.Helper()
+	if len(got.Epochs) != len(ref.Epochs) {
+		t.Fatalf("%s: %d epoch records, want %d", label, len(got.Epochs), len(ref.Epochs))
+	}
+	for i := range ref.Epochs {
+		if got.Epochs[i].Loss != ref.Epochs[i].Loss {
+			t.Errorf("%s epoch %d: loss %v, want bit-identical %v", label, i, got.Epochs[i].Loss, ref.Epochs[i].Loss)
+		}
+		va, vb := got.Epochs[i].ValAcc, ref.Epochs[i].ValAcc
+		if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+			t.Errorf("%s epoch %d: val %v, want %v", label, i, va, vb)
+		}
+		if withTime && got.Epochs[i].SimTime != ref.Epochs[i].SimTime {
+			t.Errorf("%s epoch %d: sim time %v, want %v", label, i, got.Epochs[i].SimTime, ref.Epochs[i].SimTime)
+		}
+	}
+	if got.FinalTest != ref.FinalTest {
+		t.Errorf("%s: final test %v, want %v", label, got.FinalTest, ref.FinalTest)
+	}
+	// Byte totals are schedule-independent: every payload moves exactly
+	// once regardless of staleness.
+	for s := range ref.BytesMoved {
+		for d := range ref.BytesMoved[s] {
+			if got.BytesMoved[s][d] != ref.BytesMoved[s][d] {
+				t.Errorf("%s: pair (%d,%d) moved %d bytes, want %d", label, s, d, got.BytesMoved[s][d], ref.BytesMoved[s][d])
+			}
+		}
+	}
+	if withTime && got.WallClock != ref.WallClock {
+		t.Errorf("%s: wall clock %v, want %v", label, got.WallClock, ref.WallClock)
+	}
+}
+
+// TestShardedStalenessReducesIdle checks the async backend actually models
+// straggler tolerance: on a broadcast-heavy SANCUS run over a skewed cost
+// model, a positive staleness bound must not increase simulated wall-clock
+// and must strictly reduce it when stragglers exist.
+func TestShardedStalenessReducesIdle(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	run := func(stale int) *metrics.RunResult {
+		cfg := confTrainConfig(CodecSancus)
+		cfg.Transport = TransportShardedAsync
+		cfg.TransportStaleness = stale
+		res, err := TrainDeployed(dep, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sync, async := run(0), run(8)
+	if async.WallClock > sync.WallClock {
+		t.Errorf("staleness 8 wall-clock %v exceeds lockstep %v", async.WallClock, sync.WallClock)
+	}
+	if async.WallClock == sync.WallClock {
+		t.Errorf("staleness 8 wall-clock %v identical to lockstep — async relaxation had no effect", async.WallClock)
+	}
+}
+
+// TestShardedRunErrorPropagation: a device body failing mid-collective
+// must surface its error instead of stranding peers in a wait.
+func TestShardedRunErrorPropagation(t *testing.T) {
+	rt := newShardedRuntime(TransportSpec{Parts: 4, Workers: 2})
+	err := rt.Run(1, func(dev Transport) error {
+		if dev.Rank() == 2 {
+			return errTestBody
+		}
+		dev.Barrier()
+		dev.Barrier()
+		return nil
+	})
+	if err != errTestBody {
+		t.Fatalf("Run returned %v, want the failing device's error", err)
+	}
+}
+
+var errTestBody = &testBodyError{}
+
+type testBodyError struct{}
+
+func (*testBodyError) Error() string { return "device body failed" }
+
+// ---- deliberately broken transports: the conformance suite must catch
+// each class of contract violation ----
+
+// wrappedRuntime lets a stub intercept individual Transport methods while
+// delegating everything else to the in-process reference.
+type wrappedRuntime struct {
+	Runtime
+	wrap func(Transport) Transport
+}
+
+func (w wrappedRuntime) Run(seed uint64, body func(Transport) error) error {
+	return w.Runtime.Run(seed, func(dev Transport) error { return body(w.wrap(dev)) })
+}
+
+func brokenFactory(wrap func(Transport) Transport) RuntimeFactory {
+	return func(spec TransportSpec) Runtime {
+		ref, err := LookupTransport(TransportInprocess)
+		if err != nil {
+			panic(err)
+		}
+		return wrappedRuntime{Runtime: ref(spec), wrap: wrap}
+	}
+}
+
+// noBarrierDev drops Barrier entirely: no rendezvous, no clock alignment.
+type noBarrierDev struct{ Transport }
+
+func (noBarrierDev) Barrier() {}
+
+// unchargedDev moves all2all data correctly but charges no simulated time
+// (it routes the collective through the metrics sideband).
+type unchargedDev struct{ Transport }
+
+func (d unchargedDev) RingAll2All(p [][]byte) [][]byte { return d.Transport.RawAll2All(p) }
+
+// scratchDev violates receiver ownership: it copies results into a
+// per-device scratch arena it recycles on the next collective.
+type scratchDev struct {
+	Transport
+	scratch [][]byte
+}
+
+func (d *scratchDev) RingAll2All(p [][]byte) [][]byte {
+	recv := d.Transport.RingAll2All(p)
+	if d.scratch == nil {
+		d.scratch = make([][]byte, len(recv))
+	}
+	out := make([][]byte, len(recv))
+	for i, b := range recv {
+		if b == nil {
+			continue
+		}
+		if cap(d.scratch[i]) < len(b) {
+			d.scratch[i] = make([]byte, len(b))
+		}
+		out[i] = d.scratch[i][:len(b)]
+		copy(out[i], b)
+	}
+	return out
+}
+
+func TestConformanceCatchesBrokenTransports(t *testing.T) {
+	cases := []struct {
+		name      string
+		factory   RuntimeFactory
+		wantCheck string
+	}{
+		{"no-op barrier", brokenFactory(func(d Transport) Transport { return noBarrierDev{d} }), "barrier"},
+		{"uncharged all2all", brokenFactory(func(d Transport) Transport { return unchargedDev{d} }), "all2all-clock-charge"},
+		{"recycled buffers", brokenFactory(func(d Transport) Transport { return &scratchDev{Transport: d} }), "payload-ownership"},
+	}
+	for _, tc := range cases {
+		vs := ConformTransport(tc.factory, 4)
+		found := false
+		for _, v := range vs {
+			if strings.HasPrefix(v.Check, tc.wantCheck) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: conformance missed the violation (want a %q check); got %v", tc.name, tc.wantCheck, vs)
+		}
+	}
+}

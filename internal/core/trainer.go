@@ -54,7 +54,12 @@ func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metri
 
 	ds := dep.Dataset
 	parts := dep.Assignment.Parts
-	rt := runtimeFor(parts, model)
+	rt := runtimeFor(TransportSpec{
+		Parts:     parts,
+		Model:     model,
+		Workers:   cfg.TransportWorkers,
+		Staleness: cfg.TransportStaleness,
+	})
 
 	res := &metrics.RunResult{
 		Dataset: ds.Name,

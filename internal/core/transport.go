@@ -69,8 +69,26 @@ type Runtime interface {
 	BytesMoved() [][]int64
 }
 
+// TransportSpec carries everything a RuntimeFactory needs to build one
+// run's runtime. Backends ignore knobs they have no use for: the
+// in-process cluster is always synchronous and fully parallel, so it reads
+// only Parts and Model.
+type TransportSpec struct {
+	// Parts is the simulated device count.
+	Parts int
+	// Model is the hardware cost model (nil = timing.Default()).
+	Model *timing.CostModel
+	// Workers bounds how many devices execute concurrently on backends
+	// that multiplex devices onto a worker pool (<= 0 = one per CPU).
+	Workers int
+	// Staleness is how many collective operations a device may run ahead
+	// of the slowest straggler on async backends (0 = lockstep, matching
+	// the in-process reference bit for bit).
+	Staleness int
+}
+
 // RuntimeFactory builds a Runtime for one training run.
-type RuntimeFactory func(parts int, model *timing.CostModel) Runtime
+type RuntimeFactory func(spec TransportSpec) Runtime
 
 // inprocessRuntime adapts cluster.Cluster to the Runtime interface.
 type inprocessRuntime struct {
@@ -134,7 +152,7 @@ func TransportNames() []string {
 }
 
 func init() {
-	RegisterTransport(TransportInprocess, func(parts int, model *timing.CostModel) Runtime {
-		return inprocessRuntime{clu: cluster.New(parts, model)}
+	RegisterTransport(TransportInprocess, func(spec TransportSpec) Runtime {
+		return inprocessRuntime{clu: cluster.New(spec.Parts, spec.Model)}
 	})
 }

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// TransportShardedAsync is the sharded async runtime: N simulated devices
+// multiplexed onto a bounded worker pool, with non-blocking sends that let
+// fast devices run ahead of stragglers up to a configurable staleness
+// bound.
+//
+// Scheduling model: every device is a goroutine, but only Workers of them
+// execute at a time — a device entering a collective wait yields its
+// execution slot, so the pool can be far smaller than the device count
+// without deadlocking (that is the sharding: device state is cheap, worker
+// slots model the machines actually running them).
+//
+// Data model: collectives are sequence-numbered per device. Payloads are
+// posted into a shared store keyed by (sequence, source) and matched
+// exactly — a receiver always gets the payload its peer produced for the
+// same collective, never stale data, so training results are bit-identical
+// to the in-process cluster at every staleness bound.
+//
+// Time model: at Staleness 0 every collective is a full rendezvous charged
+// exactly like package cluster (entry gap to Idle, transfer formulas to
+// Comm), so simulated clocks are also bit-identical to the reference. At
+// Staleness S > 0 the one-to-many collectives relax: a gather sender
+// charges only its own transfer and moves on, a scatter/broadcast receiver
+// waits only for the root — devices may run up to S collectives ahead of
+// the slowest straggler before backpressure blocks them. The same cost
+// model is charged throughout; what changes is how much Idle the stragglers
+// inflict on everyone else.
+const TransportShardedAsync = "sharded-async"
+
+func init() {
+	RegisterTransport(TransportShardedAsync, newShardedRuntime)
+}
+
+// Collective op tags, used to catch devices whose collective sequences
+// diverge (a contract violation that would otherwise corrupt payloads).
+const (
+	opBarrier   = "Barrier"
+	opRing      = "RingAll2All"
+	opAllReduce = "AllReduceSum"
+	opGather    = "GatherBytes"
+	opScatter   = "ScatterBytes"
+	opBroadcast = "BroadcastBytes"
+	opRawRing   = "RawAll2All"
+	opRawGather = "RawAllGather"
+)
+
+// shardedAbort is the sentinel panic that unwinds device goroutines when a
+// peer's body fails, so a mid-run error cannot strand the others in a wait.
+type shardedAbort struct{}
+
+// shardedColl is one sequence number's collective: who has posted, with
+// what payload, and at what simulated time.
+type shardedColl struct {
+	op      string
+	arrived int
+	posted  []bool
+	at      []timing.Seconds   // poster's clock at post time
+	bufs    [][][]byte         // per-source payload vectors
+	mats    [][]*tensor.Matrix // per-source matrices (allreduce)
+}
+
+func (c *shardedColl) maxAt() timing.Seconds {
+	var mx timing.Seconds
+	for _, t := range c.at {
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx
+}
+
+// shardedState is shared by all devices of one sharded-async runtime.
+type shardedState struct {
+	n     int
+	stale int
+	model *timing.CostModel
+
+	clocks []*timing.Clock
+	tokens chan struct{} // worker pool: one buffered slot per worker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	colls   map[int]*shardedColl // keyed by collective sequence number
+	done    []int                // collectives completed per device
+	minDone int
+	pruned  int // all sequences below this have been deleted
+
+	bytesMoved [][]int64
+	aborted    bool
+}
+
+func newShardedRuntime(spec TransportSpec) Runtime {
+	n := spec.Parts
+	if n <= 0 {
+		panic("core: sharded-async needs at least one device")
+	}
+	model := spec.Model
+	if model == nil {
+		model = timing.Default()
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	stale := spec.Staleness
+	if stale < 0 {
+		stale = 0
+	}
+	s := &shardedState{
+		n:          n,
+		stale:      stale,
+		model:      model,
+		clocks:     make([]*timing.Clock, n),
+		tokens:     make(chan struct{}, workers),
+		colls:      make(map[int]*shardedColl),
+		done:       make([]int, n),
+		bytesMoved: make([][]int64, n),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.tokens <- struct{}{}
+	}
+	for i := range s.clocks {
+		s.clocks[i] = timing.NewClock()
+		s.bytesMoved[i] = make([]int64, n)
+	}
+	return &shardedRuntime{s: s}
+}
+
+// shardedRuntime adapts shardedState to the Runtime interface.
+type shardedRuntime struct {
+	s *shardedState
+}
+
+func (r *shardedRuntime) Size() int               { return r.s.n }
+func (r *shardedRuntime) Clocks() []*timing.Clock { return r.s.clocks }
+
+func (r *shardedRuntime) BytesMoved() [][]int64 {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]int64, s.n)
+	for i := range out {
+		out[i] = append([]int64(nil), s.bytesMoved[i]...)
+	}
+	return out
+}
+
+func (r *shardedRuntime) Run(seed uint64, body func(Transport) error) error {
+	s := r.s
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < s.n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(shardedAbort); ok {
+						return // a peer's body failed; its error is reported
+					}
+					panic(p)
+				}
+			}()
+			s.acquire()
+			defer s.release()
+			dev := &shardedDevice{s: s, rank: rank, rng: cluster.DeviceRNG(seed, rank)}
+			if err := body(dev); err != nil {
+				errs[rank] = err
+				s.abort()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *shardedState) acquire() { <-s.tokens }
+func (s *shardedState) release() { s.tokens <- struct{}{} }
+
+func (s *shardedState) abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// yieldWait blocks until pred holds (evaluated under the state lock),
+// releasing this device's worker slot while blocked so a pool smaller than
+// the device count cannot deadlock. Panics with shardedAbort if the run
+// was aborted.
+func (s *shardedState) yieldWait(pred func() bool) {
+	s.mu.Lock()
+	for !s.aborted && !pred() {
+		s.release()
+		s.cond.Wait()
+		s.mu.Unlock()
+		s.acquire()
+		s.mu.Lock()
+	}
+	aborted := s.aborted
+	s.mu.Unlock()
+	if aborted {
+		panic(shardedAbort{})
+	}
+}
+
+// collLocked returns (creating on demand) sequence seq's collective.
+// Callers hold s.mu.
+func (s *shardedState) collLocked(seq int, op string) *shardedColl {
+	c, ok := s.colls[seq]
+	if !ok {
+		c = &shardedColl{
+			op:     op,
+			posted: make([]bool, s.n),
+			at:     make([]timing.Seconds, s.n),
+			bufs:   make([][][]byte, s.n),
+			mats:   make([][]*tensor.Matrix, s.n),
+		}
+		s.colls[seq] = c
+	}
+	if c.op != op {
+		panic(fmt.Sprintf("core: sharded-async collective %d is %s on one device and %s on another (devices diverged)", seq, c.op, op))
+	}
+	return c
+}
+
+func (s *shardedState) addBytes(src, dst int, n int) {
+	s.mu.Lock()
+	s.bytesMoved[src][dst] += int64(n)
+	s.mu.Unlock()
+}
+
+// shardedDevice is one device's Transport endpoint.
+type shardedDevice struct {
+	s    *shardedState
+	rank int
+	seq  int // next collective sequence number
+	rng  *tensor.RNG
+}
+
+func (d *shardedDevice) Rank() int                { return d.rank }
+func (d *shardedDevice) Size() int                { return d.s.n }
+func (d *shardedDevice) Clock() *timing.Clock     { return d.s.clocks[d.rank] }
+func (d *shardedDevice) Model() *timing.CostModel { return d.s.model }
+func (d *shardedDevice) Rand() *tensor.RNG        { return d.rng }
+
+// post enters this device's next collective: it waits out the run-ahead
+// bound (a device may be at most Staleness collectives ahead of the
+// slowest device's last completed one), then publishes its payload and
+// simulated arrival time.
+func (d *shardedDevice) post(op string, bufs [][]byte, mats []*tensor.Matrix) int {
+	s := d.s
+	seq := d.seq
+	d.seq++
+	s.yieldWait(func() bool { return seq-s.minDone <= s.stale })
+	s.mu.Lock()
+	c := s.collLocked(seq, op)
+	c.posted[d.rank] = true
+	c.at[d.rank] = d.Clock().Now()
+	c.bufs[d.rank] = bufs
+	c.mats[d.rank] = mats
+	c.arrived++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return seq
+}
+
+// waitAll blocks until every device has posted sequence seq.
+func (d *shardedDevice) waitAll(seq int) *shardedColl {
+	s := d.s
+	var c *shardedColl
+	s.yieldWait(func() bool {
+		cc, ok := s.colls[seq]
+		if !ok {
+			return false
+		}
+		c = cc
+		return cc.arrived == s.n
+	})
+	return c
+}
+
+// waitRank blocks until device src has posted sequence seq.
+func (d *shardedDevice) waitRank(seq, src int) *shardedColl {
+	s := d.s
+	var c *shardedColl
+	s.yieldWait(func() bool {
+		cc, ok := s.colls[seq]
+		if !ok {
+			return false
+		}
+		c = cc
+		return cc.posted[src]
+	})
+	return c
+}
+
+// complete marks this device done with sequence seq, advancing the
+// backpressure horizon and pruning fully-consumed collectives.
+func (d *shardedDevice) complete(seq int) {
+	s := d.s
+	s.mu.Lock()
+	s.done[d.rank]++
+	min := s.done[0]
+	for _, v := range s.done[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	if min > s.minDone {
+		s.minDone = min
+		for k := s.pruned; k < min; k++ {
+			delete(s.colls, k)
+		}
+		s.pruned = min
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Barrier aligns all devices; everyone's clock advances to the slowest
+// arrival (gap charged to Idle). A barrier is inherently synchronous, so
+// it rendezvouses at every staleness bound.
+func (d *shardedDevice) Barrier() {
+	seq := d.post(opBarrier, nil, nil)
+	c := d.waitAll(seq)
+	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
+	d.complete(seq)
+}
+
+// RingAll2All exchanges per-destination buffers over the ring schedule.
+// Every device's payload is a dependency of every other device, so the
+// collective rendezvouses at any staleness; arrival gaps are charged to
+// Idle and each round costs as much as its slowest link, exactly like the
+// in-process cluster.
+func (d *shardedDevice) RingAll2All(payloads [][]byte) [][]byte {
+	s := d.s
+	n := s.n
+	if len(payloads) != n {
+		panic(fmt.Sprintf("core: RingAll2All got %d payloads for %d devices", len(payloads), n))
+	}
+	seq := d.post(opRing, payloads, nil)
+	c := d.waitAll(seq)
+	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
+	sizes := make([][]int, n)
+	for src := 0; src < n; src++ {
+		sizes[src] = make([]int, n)
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				sizes[src][dst] = len(c.bufs[src][dst])
+			}
+		}
+	}
+	// Charge round by round in schedule order — the same sequence of
+	// float additions as the reference, so clocks agree to the last bit.
+	for round := 1; round < n; round++ {
+		d.Clock().Advance(timing.Comm, cluster.All2AllRoundTime(s.model, sizes, round))
+		s.addBytes(d.rank, (d.rank+round)%n, len(payloads[(d.rank+round)%n]))
+	}
+	received := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p != d.rank {
+			received[p] = c.bufs[p][d.rank]
+		}
+	}
+	d.complete(seq)
+	return received
+}
+
+// AllReduceSum sums matrices elementwise across devices (ring-allreduce
+// time model). Deterministic rank-ordered reduction over posted clones, so
+// results are bit-identical to the in-process cluster and the poster may
+// keep mutating its own matrices while stragglers still read.
+func (d *shardedDevice) AllReduceSum(ms []*tensor.Matrix) {
+	s := d.s
+	clones := make([]*tensor.Matrix, len(ms))
+	for i, m := range ms {
+		clones[i] = m.Clone()
+	}
+	seq := d.post(opAllReduce, nil, clones)
+	c := d.waitAll(seq)
+	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
+	sums := make([]*tensor.Matrix, len(ms))
+	for i := range ms {
+		sums[i] = c.mats[0][i].Clone()
+		for r := 1; r < s.n; r++ {
+			sums[i].AddInPlace(c.mats[r][i])
+		}
+	}
+	bytes := 0
+	for _, m := range ms {
+		bytes += len(m.Data) * 4
+	}
+	d.Clock().Advance(timing.Comm, cluster.AllReduceTime(s.model, s.n, d.rank, bytes))
+	for i := range ms {
+		ms[i].CopyFrom(sums[i])
+	}
+	d.complete(seq)
+}
+
+// GatherBytes collects every device's payload at root. At staleness 0
+// every device aligns on the slowest arrival and charges the slowest
+// incoming transfer (the reference model); beyond it, senders post
+// non-blocking, charge only their own transfer and run ahead — only root
+// pays for stragglers.
+func (d *shardedDevice) GatherBytes(root int, payload []byte) [][]byte {
+	s := d.s
+	seq := d.post(opGather, [][]byte{payload}, nil)
+	if s.stale > 0 && d.rank != root {
+		d.Clock().Advance(timing.Comm, s.model.TransferTime(d.rank, root, len(payload)))
+		s.addBytes(d.rank, root, len(payload))
+		d.complete(seq)
+		return nil
+	}
+	c := d.waitAll(seq)
+	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
+	var t timing.Seconds
+	for src := 0; src < s.n; src++ {
+		if src == root {
+			continue
+		}
+		if tt := s.model.TransferTime(src, root, len(c.bufs[src][0])); tt > t {
+			t = tt
+		}
+	}
+	d.Clock().Advance(timing.Comm, t)
+	if d.rank != root {
+		s.addBytes(d.rank, root, len(payload))
+		d.complete(seq)
+		return nil
+	}
+	out := make([][]byte, s.n)
+	for src := range out {
+		out[src] = c.bufs[src][0]
+	}
+	d.complete(seq)
+	return out
+}
+
+// ScatterBytes distributes payloads[i] from root to device i. At
+// staleness > 0 a receiver depends only on root's post — stragglers among
+// the other receivers cost it nothing.
+func (d *shardedDevice) ScatterBytes(root int, payloads [][]byte) []byte {
+	s := d.s
+	var bufs [][]byte
+	if d.rank == root {
+		if len(payloads) != s.n {
+			panic(fmt.Sprintf("core: ScatterBytes got %d payloads for %d devices", len(payloads), s.n))
+		}
+		bufs = payloads
+	}
+	seq := d.post(opScatter, bufs, nil)
+	if s.stale > 0 {
+		if d.rank == root {
+			var t timing.Seconds
+			for dst := 0; dst < s.n; dst++ {
+				if dst == root {
+					continue
+				}
+				if tt := s.model.TransferTime(root, dst, len(payloads[dst])); tt > t {
+					t = tt
+				}
+			}
+			d.Clock().Advance(timing.Comm, t)
+			d.complete(seq)
+			return payloads[root]
+		}
+		c := d.waitRank(seq, root)
+		d.Clock().AdvanceTo(timing.Idle, c.at[root])
+		out := c.bufs[root][d.rank]
+		d.Clock().Advance(timing.Comm, s.model.TransferTime(root, d.rank, len(out)))
+		d.complete(seq)
+		return out
+	}
+	c := d.waitAll(seq)
+	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
+	var t timing.Seconds
+	for dst := 0; dst < s.n; dst++ {
+		if dst == root {
+			continue
+		}
+		if tt := s.model.TransferTime(root, dst, len(c.bufs[root][dst])); tt > t {
+			t = tt
+		}
+	}
+	d.Clock().Advance(timing.Comm, t)
+	out := c.bufs[root][d.rank]
+	d.complete(seq)
+	return out
+}
+
+// BroadcastBytes sends root's payload to all devices (sequential broadcast
+// timing — SANCUS's pattern). At staleness > 0 a receiver waits only for
+// root and charges the sequential prefix up to its own turn, so late
+// receivers never delay early ones.
+func (d *shardedDevice) BroadcastBytes(root int, payload []byte) []byte {
+	s := d.s
+	var bufs [][]byte
+	if d.rank == root {
+		bufs = [][]byte{payload}
+	}
+	seq := d.post(opBroadcast, bufs, nil)
+	if s.stale > 0 {
+		if d.rank == root {
+			var t timing.Seconds
+			for dst := 0; dst < s.n; dst++ {
+				if dst != root {
+					t += s.model.TransferTime(root, dst, len(payload))
+					s.addBytes(root, dst, len(payload))
+				}
+			}
+			d.Clock().Advance(timing.Comm, t)
+			d.complete(seq)
+			return payload
+		}
+		c := d.waitRank(seq, root)
+		buf := c.bufs[root][0]
+		d.Clock().AdvanceTo(timing.Idle, c.at[root])
+		var t timing.Seconds
+		for dst := 0; dst <= d.rank; dst++ {
+			if dst != root {
+				t += s.model.TransferTime(root, dst, len(buf))
+			}
+		}
+		d.Clock().Advance(timing.Comm, t)
+		d.complete(seq)
+		return buf
+	}
+	c := d.waitAll(seq)
+	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
+	buf := c.bufs[root][0]
+	var t timing.Seconds
+	for dst := 0; dst < s.n; dst++ {
+		if dst != root {
+			t += s.model.TransferTime(root, dst, len(buf))
+		}
+	}
+	d.Clock().Advance(timing.Comm, t)
+	if d.rank == root {
+		for dst := 0; dst < s.n; dst++ {
+			if dst != root {
+				s.addBytes(root, dst, len(buf))
+			}
+		}
+	}
+	d.complete(seq)
+	return buf
+}
+
+// RawAll2All moves buffers like RingAll2All but charges no time.
+func (d *shardedDevice) RawAll2All(payloads [][]byte) [][]byte {
+	s := d.s
+	if len(payloads) != s.n {
+		panic(fmt.Sprintf("core: RawAll2All got %d payloads for %d devices", len(payloads), s.n))
+	}
+	seq := d.post(opRawRing, payloads, nil)
+	c := d.waitAll(seq)
+	received := make([][]byte, s.n)
+	for p := 0; p < s.n; p++ {
+		if p != d.rank {
+			received[p] = c.bufs[p][d.rank]
+		}
+	}
+	d.complete(seq)
+	return received
+}
+
+// RawAllGather shares one buffer from every device with every device,
+// charging no time (metrics sideband).
+func (d *shardedDevice) RawAllGather(payload []byte) [][]byte {
+	s := d.s
+	seq := d.post(opRawGather, [][]byte{payload}, nil)
+	c := d.waitAll(seq)
+	out := make([][]byte, s.n)
+	for p := 0; p < s.n; p++ {
+		out[p] = c.bufs[p][0]
+	}
+	d.complete(seq)
+	return out
+}
+
+var _ Transport = (*shardedDevice)(nil)

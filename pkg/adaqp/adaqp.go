@@ -121,6 +121,9 @@ func DatasetNames() []string { return synthetic.Names() }
 // latency, quantization throughput).
 type CostModel = timing.CostModel
 
+// Seconds is simulated time.
+type Seconds = timing.Seconds
+
 // DefaultCostModel returns the V100 / 100 Gbps calibration the paper's
 // testbed uses. Mutate the returned struct to model other hardware.
 func DefaultCostModel() *CostModel { return timing.Default() }
@@ -169,18 +172,45 @@ const (
 )
 
 // Transport is the device-side communication surface; Runtime launches
-// one Transport per device.
+// one Transport per device. A RuntimeFactory builds a Runtime from a
+// TransportSpec (device count, cost model, worker pool size, staleness
+// bound).
 type (
 	Transport      = core.Transport
 	Runtime        = core.Runtime
 	RuntimeFactory = core.RuntimeFactory
+	TransportSpec  = core.TransportSpec
 )
 
 // RegisterTransport makes a runtime backend selectable by name.
 func RegisterTransport(name string, f RuntimeFactory) { core.RegisterTransport(name, f) }
 
+// LookupTransport resolves a registered runtime backend (useful for
+// wrapping or delegating to built-in backends from custom ones).
+func LookupTransport(name string) (RuntimeFactory, error) { return core.LookupTransport(name) }
+
 // Transports lists the registered runtime backends, sorted.
 func Transports() []string { return core.TransportNames() }
 
-// TransportInprocess is the default in-process backend.
-const TransportInprocess = core.TransportInprocess
+// Built-in transport names.
+const (
+	// TransportInprocess is the default in-process backend: one goroutine
+	// per device, synchronous collectives.
+	TransportInprocess = core.TransportInprocess
+	// TransportShardedAsync multiplexes devices onto a bounded worker pool
+	// (WithWorkers) with non-blocking sends that let fast devices run
+	// ahead of stragglers up to WithStalenessBound collectives.
+	TransportShardedAsync = core.TransportShardedAsync
+)
+
+// TransportViolation is one conformance failure reported by
+// VerifyTransport.
+type TransportViolation = core.Violation
+
+// VerifyTransport checks a runtime backend against the Transport
+// collective contract (payload delivery, buffer ownership, simulated
+// clock charging, byte accounting) with parts devices, returning nil when
+// it conforms. Run it against any custom backend before training on it.
+func VerifyTransport(f RuntimeFactory, parts int) []TransportViolation {
+	return core.ConformTransport(f, parts)
+}

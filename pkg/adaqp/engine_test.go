@@ -290,6 +290,65 @@ func TestAnalyzeAndPairBytes(t *testing.T) {
 	}
 }
 
+// TestShardedTransportPublicAPI drives the sharded-async backend through
+// the options surface: a lockstep run must match the in-process transport
+// bit for bit, and a bounded pool with a staleness window must preserve
+// the loss curve while only the simulated schedule changes.
+func TestShardedTransportPublicAPI(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, tinyOpts(adaqp.WithMethod(adaqp.SANCUS))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockstep, err := eng.Run(adaqp.WithTransport(adaqp.TransportShardedAsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := eng.Run(
+		adaqp.WithTransport(adaqp.TransportShardedAsync),
+		adaqp.WithWorkers(2),
+		adaqp.WithStalenessBound(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Epochs {
+		if lockstep.Epochs[i].Loss != ref.Epochs[i].Loss {
+			t.Fatalf("epoch %d: lockstep sharded loss %v != in-process %v", i, lockstep.Epochs[i].Loss, ref.Epochs[i].Loss)
+		}
+		if lockstep.Epochs[i].SimTime != ref.Epochs[i].SimTime {
+			t.Fatalf("epoch %d: lockstep sharded sim time %v != in-process %v", i, lockstep.Epochs[i].SimTime, ref.Epochs[i].SimTime)
+		}
+		if async.Epochs[i].Loss != ref.Epochs[i].Loss {
+			t.Fatalf("epoch %d: staleness-8 loss %v != in-process %v", i, async.Epochs[i].Loss, ref.Epochs[i].Loss)
+		}
+	}
+	if async.WallClock > ref.WallClock {
+		t.Fatalf("staleness-8 wall-clock %v exceeds synchronous %v", async.WallClock, ref.WallClock)
+	}
+	for name, opt := range map[string]adaqp.Option{
+		"workers":   adaqp.WithWorkers(-1),
+		"staleness": adaqp.WithStalenessBound(-1),
+	} {
+		if _, err := adaqp.New(ds, opt); err == nil {
+			t.Fatalf("option %q with a negative value must error", name)
+		}
+	}
+	if vs := adaqp.VerifyTransport(func(spec adaqp.TransportSpec) adaqp.Runtime {
+		f, err := adaqp.LookupTransport(adaqp.TransportShardedAsync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Workers = 2
+		return f(spec)
+	}, 4); len(vs) != 0 {
+		t.Fatalf("public conformance surface reported violations: %v", vs)
+	}
+}
+
 func TestParseRoundTripPublic(t *testing.T) {
 	for _, m := range adaqp.Methods() {
 		got, err := adaqp.ParseMethod(m.String())

@@ -103,6 +103,36 @@ func WithTransport(name string) Option {
 	}
 }
 
+// WithWorkers bounds how many simulated devices execute concurrently on
+// transports that multiplex devices onto a worker pool (TransportShardedAsync).
+// 0 (the default) uses one worker per available CPU; the in-process
+// transport ignores it.
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("adaqp: workers must be >= 0, got %d", n)
+		}
+		s.cfg.TransportWorkers = n
+		return nil
+	}
+}
+
+// WithStalenessBound sets how many collective operations a device may run
+// ahead of the slowest straggler on async transports. 0 (the default)
+// keeps lockstep semantics — results and simulated clocks bit-identical to
+// the in-process reference; positive bounds keep results bit-identical but
+// let fast devices overlap one-to-many collectives with stragglers' work,
+// reducing simulated idle time. The in-process transport ignores it.
+func WithStalenessBound(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("adaqp: staleness bound must be >= 0, got %d", n)
+		}
+		s.cfg.TransportStaleness = n
+		return nil
+	}
+}
+
 // WithEpochs sets the training epoch budget.
 func WithEpochs(n int) Option {
 	return func(s *settings) error {
