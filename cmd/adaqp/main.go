@@ -6,10 +6,15 @@
 //	adaqp -dataset products-sim -model gcn -method adaqp -parts 4 -epochs 100
 //	adaqp -dataset yelp-sim -model sage -method pipegcn -parts 8
 //	adaqp -dataset tiny -method vanilla -codec uniform -bits 8
+//	adaqp -dataset tiny -method vanilla -codec ef-quant -bits 2
+//	adaqp -dataset tiny -method vanilla -codec topk -density 0.05
+//	adaqp -dataset tiny -method vanilla -codec delta -keyframe 20
 //	adaqp -dataset tiny -method sancus -transport sharded-async -staleness 8 -workers 4
 //
 // The -method, -codec, -transport and -dataset usage strings list whatever
 // is currently registered, so custom registrations show up automatically.
+// A -codec override beats the -method default; naming an unregistered
+// codec exits non-zero with the registered names.
 package main
 
 import (
@@ -40,11 +45,32 @@ func main() {
 		lambda   = flag.Float64("lambda", 0.5, "variance/time trade-off λ ∈ [0,1]")
 		group    = flag.Int("group", 100, "message group size")
 		period   = flag.Int("period", 50, "bit-width re-assignment period (epochs)")
-		bits     = flag.Int("bits", 2, "uniform bit-width for -method uniform (2|4|8|32)")
+		bits     = flag.Int("bits", 2, "uniform bit-width for -method uniform and -codec ef-quant (2|4|8|32)")
+		density  = flag.Float64("density", 0.1, "kept fraction per row for -codec topk, in (0,1]")
+		keyframe = flag.Int("keyframe", 10, "full-precision keyframe period (epochs) for -codec delta")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		evalEach = flag.Int("eval-every", 5, "epochs between validation evaluations")
 	)
 	flag.Parse()
+
+	// A -codec override beats the -method default, so an unregistered name
+	// must be rejected up front with the registry-derived usage — not
+	// silently resolved to the method's codec, and not a late training
+	// error with no guidance.
+	if *codec != "" {
+		if _, err := adaqp.LookupCodec(*codec); err != nil {
+			fmt.Fprintf(os.Stderr, "adaqp: unknown codec %q (-codec overrides the -method default)\n", *codec)
+			fmt.Fprintf(os.Stderr, "registered codecs: %s\n", strings.Join(adaqp.Codecs(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *tport != "" {
+		if _, err := adaqp.LookupTransport(*tport); err != nil {
+			fmt.Fprintf(os.Stderr, "adaqp: unknown transport %q\n", *tport)
+			fmt.Fprintf(os.Stderr, "registered transports: %s\n", strings.Join(adaqp.Transports(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	ds, err := adaqp.LoadDataset(*dataset, *scale)
 	if err != nil {
@@ -71,6 +97,8 @@ func main() {
 		adaqp.WithGroupSize(*group),
 		adaqp.WithReassignPeriod(*period),
 		adaqp.WithUniformBits(*bits),
+		adaqp.WithTopKDensity(*density),
+		adaqp.WithDeltaKeyframe(*keyframe),
 		adaqp.WithSeed(*seed),
 		adaqp.WithEvalEvery(*evalEach),
 		// Stream the convergence trace as epochs complete instead of

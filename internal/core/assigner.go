@@ -42,12 +42,7 @@ type assignState struct {
 }
 
 func newAssignState(cfg *Config, lg *partition.LocalGraph, inDim int) *assignState {
-	st := &assignState{lg: lg, layers: cfg.Layers}
-	st.dims = make([]int, cfg.Layers)
-	st.dims[0] = inDim
-	for l := 1; l < cfg.Layers; l++ {
-		st.dims[l] = cfg.Hidden
-	}
+	st := &assignState{lg: lg, layers: cfg.Layers, dims: messageDims(cfg, inDim)}
 	st.alphaSq = make([]float64, lg.NumHalo)
 	for u := 0; u < lg.NumLocal; u++ {
 		ws := lg.Adj.EdgeWeights(u)

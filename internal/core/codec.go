@@ -17,8 +17,11 @@ import (
 // shipped here cover the paper's systems — full-precision all2all (fp32),
 // uniform and adaptive quantization (AdaQP), random-width sampling,
 // cross-iteration pipelining (PipeGCN) and staleness-bounded broadcast
-// (SANCUS) — and new schemes register alongside them without touching the
-// trainer's layer loop.
+// (SANCUS) — plus the standard compression competitor family
+// (error-feedback quantization, top-k sparsification, delta/keyframe
+// residuals); new schemes register alongside them without touching the
+// trainer's layer loop, and ConformCodec is the executable form of this
+// contract.
 //
 // One codec instance serves one device for one training run; instances may
 // hold mutable state (width tables, staleness caches). All cross-device
@@ -120,6 +123,45 @@ func (s *RunShared) sancusTopo(locals []*partition.LocalGraph) *sancusTopology {
 // CodecFactory builds one device's codec instance for one training run.
 type CodecFactory func(env *CodecEnv) (MessageCodec, error)
 
+// ---- optional codec-contract interfaces, enforced by ConformCodec ----
+
+// StatefulCodec is implemented by codecs whose instances carry mutable
+// cross-epoch state (error-feedback residuals, staleness caches, solved
+// width tables). The declaration is part of the codec contract: a codec
+// that does NOT declare state must produce bit-identical training results
+// when a fresh instance replaces it at any epoch boundary — which is what
+// lets the sharded-async backend's run-ahead hold per-device instances
+// for the whole run without re-synchronizing them. ConformCodec verifies
+// the discipline on both transport backends.
+type StatefulCodec interface {
+	MessageCodec
+	// Stateful reports whether instances carry cross-epoch mutable state.
+	Stateful() bool
+}
+
+// LossyCodec is implemented by codecs whose decoded epoch-0 forward
+// messages differ from the sent rows. Codecs that do not implement it
+// must decode epoch-0 forward messages exactly.
+type LossyCodec interface {
+	MessageCodec
+	// ForwardErrorBound returns the worst-case per-element absolute error
+	// of one decoded epoch-0 forward row whose values span [mn, mx] over
+	// dim columns.
+	ForwardErrorBound(mn, mx float32, dim int) float64
+}
+
+// WireAccountant reports the exact bytes a codec puts on the wire, so
+// the transport's byte ledger (which drives All2AllRoundTime and the
+// paper's wire-byte measurements) can be cross-checked against the wire
+// format. Every codec must implement it; ConformCodec compares the
+// declared sizes against the bytes the transport actually accounted.
+type WireAccountant interface {
+	MessageCodec
+	// ForwardWireSizes returns the per-destination payload bytes of this
+	// device's epoch-0, layer-0 forward exchange at message dimension dim.
+	ForwardWireSizes(lg *partition.LocalGraph, dim int) []int
+}
+
 // Registry names of the built-in codecs.
 const (
 	CodecFP32     = "fp32"     // full-precision ring all2all (Vanilla)
@@ -128,6 +170,9 @@ const (
 	CodecAdaptive = "adaptive" // AdaQP: traced, adaptively assigned widths
 	CodecPipeGCN  = "pipegcn"  // cross-iteration staleness pipelining
 	CodecSancus   = "sancus"   // staleness-bounded sequential broadcast
+	CodecEFQuant  = "ef-quant" // uniform quantization + error feedback
+	CodecTopK     = "topk"     // magnitude top-k sparsification
+	CodecDelta    = "delta"    // residual vs previous epoch + keyframes
 )
 
 var (
@@ -201,4 +246,7 @@ func init() {
 	RegisterCodec(CodecAdaptive, newAdaptiveCodec)
 	RegisterCodec(CodecPipeGCN, newPipeGCNCodec)
 	RegisterCodec(CodecSancus, newSancusCodec)
+	RegisterCodec(CodecEFQuant, newEFQuantCodec)
+	RegisterCodec(CodecTopK, newTopKCodec)
+	RegisterCodec(CodecDelta, newDeltaCodec)
 }

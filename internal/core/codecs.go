@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/partition"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/timing"
@@ -28,6 +29,10 @@ func (fp32Codec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tenso
 }
 
 func (fp32Codec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+func (fp32Codec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	return fpAll2AllBytes(lg, dim)
+}
 
 // ---- shared quantized exchange with the overlap schedule ----
 
@@ -96,11 +101,12 @@ func (q *quantState) backwardFP(env *ExchangeEnv, l int, dxFull, dxLocal *tensor
 
 type uniformCodec struct {
 	quantState
+	bits        quant.BitWidth
 	passthrough bool // 32-bit: raw fp32 rows, overlap schedule intact
 }
 
 func newUniformCodec(env *CodecEnv) (MessageCodec, error) {
-	c := &uniformCodec{passthrough: env.Cfg.UniformBits == quant.B32}
+	c := &uniformCodec{bits: env.Cfg.UniformBits, passthrough: env.Cfg.UniformBits == quant.B32}
 	if !c.passthrough {
 		c.st = newAssignState(env.Cfg, env.Graph(), env.InDim)
 		c.st.installUniformWidths(env.Cfg.UniformBits)
@@ -125,6 +131,24 @@ func (c *uniformCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 }
 
 func (c *uniformCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+func (c *uniformCodec) ForwardErrorBound(mn, mx float32, _ int) float64 {
+	if c.passthrough {
+		return 0
+	}
+	return float64(mx-mn) / float64(c.bits.Levels())
+}
+
+func (c *uniformCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	if c.passthrough {
+		return fpAll2AllBytes(lg, dim)
+	}
+	out := make([]int, lg.Parts)
+	for q := range out {
+		out[q] = quant.MixedSize(c.st.fwdW[0].send[q], dim)
+	}
+	return out
+}
 
 // ---- random: widths sampled uniformly from {2,4,8} per message ----
 
@@ -155,6 +179,23 @@ func (c *randomCodec) EpochEnd(env *ExchangeEnv, epoch int) error {
 		c.st.installRandomWidths(env.Cfg.Seed, epoch/env.Cfg.ReassignPeriod, env.Dev.Size(), c.rank)
 	}
 	return nil
+}
+
+// Stateful: the installed width tables depend on how many re-assignment
+// periods have elapsed, so a rebuilt instance would rewind them.
+func (c *randomCodec) Stateful() bool { return true }
+
+// ForwardErrorBound: the sampled width can be as narrow as 2 bits.
+func (c *randomCodec) ForwardErrorBound(mn, mx float32, _ int) float64 {
+	return float64(mx-mn) / float64(quant.B2.Levels())
+}
+
+func (c *randomCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	out := make([]int, lg.Parts)
+	for q := range out {
+		out[q] = quant.MixedSize(c.st.fwdW[0].send[q], dim)
+	}
+	return out
 }
 
 // ---- adaptive: AdaQP's traced, bi-objectively assigned widths ----
@@ -210,6 +251,15 @@ func (c *adaptiveCodec) EpochEnd(env *ExchangeEnv, epoch int) error {
 		return nil
 	}
 	return runAssignment(env.Dev, env.Cfg, c.st)
+}
+
+// Stateful: the solved width tables and collected traces live across
+// epochs.
+func (c *adaptiveCodec) Stateful() bool { return true }
+
+// ForwardWireSizes: the epoch-0 bootstrap runs at full precision.
+func (c *adaptiveCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	return fpAll2AllBytes(lg, dim)
 }
 
 // ---- pipegcn: cross-iteration pipelining with 1-epoch staleness ----
@@ -289,6 +339,14 @@ func (c *pipegcnCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 
 func (c *pipegcnCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
 
+// Stateful: the one-epoch-stale halo and gradient caches.
+func (c *pipegcnCodec) Stateful() bool { return true }
+
+// ForwardWireSizes: epoch 0 performs the plain full-precision exchange.
+func (c *pipegcnCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	return fpAll2AllBytes(lg, dim)
+}
+
 // ---- sancus: staleness-bounded sequential broadcast ----
 
 type sancusCodec struct {
@@ -325,3 +383,22 @@ func (c *sancusCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *
 }
 
 func (c *sancusCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// Stateful: the historical embedding caches and per-layer broadcast ages.
+func (c *sancusCodec) Stateful() bool { return true }
+
+// ForwardWireSizes: at epoch 0 every device broadcasts its boundary rows
+// (the union of its SendTo sets) to every peer.
+func (c *sancusCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	out := make([]int, lg.Parts)
+	n := len(c.topo.boundary[lg.Part])
+	if n == 0 {
+		return out
+	}
+	for d := range out {
+		if d != lg.Part {
+			out[d] = 4 * dim * n
+		}
+	}
+	return out
+}

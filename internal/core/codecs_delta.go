@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// ---- delta: residual encoding against the previous epoch's payload ----
+//
+// Messages evolve smoothly between epochs, so the residual against the
+// previous payload spans a much smaller range than the payload itself and
+// quantizes tightly. Every DeltaKeyframeEvery epochs (including epoch 0)
+// a full-precision keyframe resets the reference; in between, the codec
+// ships the residual quantized at 8 bits. Sender and receiver both
+// advance their reference to the *reconstruction* (reference + decoded
+// residual), so the two stay bit-identical without extra traffic.
+//
+// Wire format per destination: a 1-byte tag ('K' keyframe / 'D' delta)
+// followed by raw little-endian float32 rows (keyframe) or the
+// quant.QuantizeRows stream at 8 bits (delta). Keyframe epochs are a
+// pure function of the epoch number, so both ends agree on the expected
+// tag and a mismatch is a decode error.
+
+// deltaBits is the fixed width residual payloads are quantized at.
+const deltaBits = quant.B8
+
+const (
+	deltaTagKeyframe = 'K'
+	deltaTagDelta    = 'D'
+)
+
+// deltaKeyframe reports whether epoch ships keyframes under cfg.
+func deltaKeyframe(cfg *Config, epoch int) bool {
+	return epoch%cfg.DeltaKeyframeEvery == 0
+}
+
+// encodeDelta serializes rows idx of x against *prev, advancing *prev to
+// the receiver-visible reconstruction. On keyframe epochs the raw rows
+// are shipped and become the new reference.
+func encodeDelta(x *tensor.Matrix, idx []int32, prev **tensor.Matrix, key bool, rng *tensor.RNG) ([]byte, error) {
+	cur := x.GatherRows(int32sToInts(idx))
+	if key {
+		*prev = cur
+		out := make([]byte, 1, 1+4*len(cur.Data))
+		out[0] = deltaTagKeyframe
+		return append(out, rowsToBytes(cur, allRows(cur.Rows))...), nil
+	}
+	if *prev == nil || !(*prev).SameShape(cur) {
+		return nil, fmt.Errorf("core: delta codec has no keyframe reference for a residual epoch")
+	}
+	d := tensor.Sub(cur, *prev)
+	stream := quant.QuantizeRows(d, nil, deltaBits, rng)
+	recon := tensor.New(d.Rows, d.Cols)
+	if err := quant.DequantizeRows(stream, recon, nil, recon.Rows, deltaBits); err != nil {
+		return nil, err
+	}
+	(*prev).AddInPlace(recon)
+	out := make([]byte, 1, 1+len(stream))
+	out[0] = deltaTagDelta
+	return append(out, stream...), nil
+}
+
+// decodeDelta decodes one encodeDelta payload carrying rows×dim values,
+// advancing *prev to the reconstruction and returning it. It validates
+// the tag (against the epoch-derived expectation), the stream length and
+// the reference state, so corrupted wire bytes error instead of
+// panicking.
+func decodeDelta(buf []byte, rows, dim int, prev **tensor.Matrix, key bool) (*tensor.Matrix, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("core: delta stream is empty (missing tag byte)")
+	}
+	tag, body := buf[0], buf[1:]
+	switch tag {
+	case deltaTagKeyframe:
+		if !key {
+			return nil, fmt.Errorf("core: delta keyframe payload on a residual epoch")
+		}
+		m := tensor.New(rows, dim)
+		if err := bytesToRows(body, m, allRows(rows), 0); err != nil {
+			return nil, err
+		}
+		*prev = m
+		return m, nil
+	case deltaTagDelta:
+		if key {
+			return nil, fmt.Errorf("core: delta residual payload on a keyframe epoch")
+		}
+		if *prev == nil || (*prev).Rows != rows || (*prev).Cols != dim {
+			return nil, fmt.Errorf("core: delta residual without a matching keyframe reference")
+		}
+		d := tensor.New(rows, dim)
+		if err := quant.DequantizeRows(body, d, nil, rows, deltaBits); err != nil {
+			return nil, err
+		}
+		(*prev).AddInPlace(d)
+		return *prev, nil
+	}
+	return nil, fmt.Errorf("core: unknown delta tag 0x%02x", tag)
+}
+
+type deltaCodec struct {
+	// prevFwdSend[l][q] is the sender-side reconstruction of the rows
+	// last shipped to q at layer l; prevFwdRecv[l][p] mirrors it on the
+	// receiving end. prevBwd* covers the backward direction (sends in
+	// wire order RecvFrom[p], receives in wire order SendTo[q]).
+	prevFwdSend, prevFwdRecv [][]*tensor.Matrix
+	prevBwdSend, prevBwdRecv [][]*tensor.Matrix
+}
+
+func newDeltaCodec(env *CodecEnv) (MessageCodec, error) {
+	layers, parts := env.Cfg.Layers, env.Graph().Parts
+	grid := func() [][]*tensor.Matrix {
+		g := make([][]*tensor.Matrix, layers)
+		for l := range g {
+			g[l] = make([]*tensor.Matrix, parts)
+		}
+		return g
+	}
+	return &deltaCodec{
+		prevFwdSend: grid(), prevFwdRecv: grid(),
+		prevBwdSend: grid(), prevBwdRecv: grid(),
+	}, nil
+}
+
+func (c *deltaCodec) Name() string { return CodecDelta }
+
+// Stateful: the keyframe references are cross-epoch state on both the
+// sending and receiving side.
+func (c *deltaCodec) Stateful() bool { return true }
+
+func (c *deltaCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	lg, dev := env.Graph, env.Dev
+	n := dev.Size()
+	key := deltaKeyframe(env.Cfg, epoch)
+	if !key {
+		// Residual epochs quantize (and self-dequantize, to advance the
+		// sender's reference) every element shipped.
+		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(2*wireElems(lg.SendTo, h.Cols)))
+	}
+	payloads := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		buf, err := encodeDelta(h, lg.SendTo[q], &c.prevFwdSend[l][q], key, dev.Rand())
+		if err != nil {
+			return err
+		}
+		payloads[q] = buf
+	}
+	recv := dev.RingAll2All(payloads)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		rec, err := decodeDelta(recv[p], len(lg.RecvFrom[p]), h.Cols, &c.prevFwdRecv[l][p], key)
+		if err != nil {
+			return fmt.Errorf("delta: rank %d from %d: %w", dev.Rank(), p, err)
+		}
+		for j, slot := range lg.RecvFrom[p] {
+			copy(xFull.Row(lg.NumLocal+int(slot)), rec.Row(j))
+		}
+	}
+	if !key {
+		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(wireElems(lg.RecvFrom, xFull.Cols)))
+	}
+	dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
+	return nil
+}
+
+func (c *deltaCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	lg, dev := env.Graph, env.Dev
+	n := dev.Size()
+	key := deltaKeyframe(env.Cfg, epoch)
+	dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
+	if !key {
+		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(2*wireElems(lg.RecvFrom, dxFull.Cols)))
+	}
+	payloads := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		buf, err := encodeDelta(dxFull, haloIdx(lg, p), &c.prevBwdSend[l][p], key, dev.Rand())
+		if err != nil {
+			return err
+		}
+		payloads[p] = buf
+	}
+	recv := dev.RingAll2All(payloads)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		rec, err := decodeDelta(recv[q], len(lg.SendTo[q]), dxLocal.Cols, &c.prevBwdRecv[l][q], key)
+		if err != nil {
+			return fmt.Errorf("delta: rank %d grads from %d: %w", dev.Rank(), q, err)
+		}
+		dxLocal.ScatterAddRows(int32sToInts(lg.SendTo[q]), rec)
+	}
+	if !key {
+		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(wireElems(lg.SendTo, dxLocal.Cols)))
+	}
+	return nil
+}
+
+func (c *deltaCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// ForwardWireSizes: epoch 0 is always a keyframe — one tag byte plus the
+// raw fp32 rows per destination.
+func (c *deltaCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	out := make([]int, lg.Parts)
+	for q := range out {
+		if n := len(lg.SendTo[q]); n > 0 {
+			out[q] = 1 + 4*n*dim
+		}
+	}
+	return out
+}

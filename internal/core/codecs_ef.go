@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// ---- ef-quant: uniform quantization with error feedback ----
+//
+// The standard competitor to adaptive assignment (EF-SGD / 1-bit-Adam
+// lineage): every message is quantized at one fixed width, but the
+// quantization error of each epoch is carried as a residual and added to
+// the next epoch's message before quantizing, so the error telescopes
+// instead of accumulating. The sender de-quantizes its own stream to
+// compute the exact error the receiver sees, which keeps both ends
+// consistent without extra traffic.
+//
+// Wire format per destination: the quant.QuantizeRows stream (per row:
+// [Zero float32][Scale float32][packed codes]) at Config.UniformBits.
+// The schedule is sequential (no AdaQP overlap): compression competitors
+// are modeled as drop-in replacements for the fp32 exchange.
+
+type efQuantCodec struct {
+	bits quant.BitWidth
+	// fwdResid[l][q] carries the accumulated quantization error of the
+	// rows this device sends to q at layer l (wire order SendTo[q]);
+	// bwdResid[l][p] covers the backward sends (wire order RecvFrom[p]).
+	fwdResid [][]*tensor.Matrix
+	bwdResid [][]*tensor.Matrix
+}
+
+func newEFQuantCodec(env *CodecEnv) (MessageCodec, error) {
+	if !env.Cfg.UniformBits.Packable() {
+		return nil, fmt.Errorf("core: ef-quant requires a packable bit-width (2|4|8), got %d (set UniformBits)", env.Cfg.UniformBits)
+	}
+	lg := env.Graph()
+	dims := messageDims(env.Cfg, env.InDim)
+	c := &efQuantCodec{
+		bits:     env.Cfg.UniformBits,
+		fwdResid: make([][]*tensor.Matrix, env.Cfg.Layers),
+		bwdResid: make([][]*tensor.Matrix, env.Cfg.Layers),
+	}
+	for l := 0; l < env.Cfg.Layers; l++ {
+		c.fwdResid[l] = make([]*tensor.Matrix, lg.Parts)
+		c.bwdResid[l] = make([]*tensor.Matrix, lg.Parts)
+		for q := 0; q < lg.Parts; q++ {
+			if n := len(lg.SendTo[q]); n > 0 {
+				c.fwdResid[l][q] = tensor.New(n, dims[l])
+			}
+			// Layer 0 has no backward exchange (the trainer returns before
+			// the codec is called), so its residuals would be dead weight.
+			if n := len(lg.RecvFrom[q]); n > 0 && l > 0 {
+				c.bwdResid[l][q] = tensor.New(n, dims[l])
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *efQuantCodec) Name() string { return CodecEFQuant }
+
+// Stateful: the residuals are genuine cross-epoch state — replacing an
+// instance mid-run would silently drop the carried error.
+func (c *efQuantCodec) Stateful() bool { return true }
+
+// encodeEF quantizes rows idx of x plus the carried residual, then
+// updates the residual to the new quantization error (corrected minus
+// the receiver's reconstruction).
+func (c *efQuantCodec) encodeEF(x *tensor.Matrix, idx []int32, resid *tensor.Matrix, rng *tensor.RNG) ([]byte, error) {
+	corrected := x.GatherRows(int32sToInts(idx))
+	corrected.AddInPlace(resid)
+	stream := quant.QuantizeRows(corrected, nil, c.bits, rng)
+	recon := tensor.New(corrected.Rows, corrected.Cols)
+	if err := quant.DequantizeRows(stream, recon, nil, recon.Rows, c.bits); err != nil {
+		return nil, err
+	}
+	for i := range resid.Data {
+		resid.Data[i] = corrected.Data[i] - recon.Data[i]
+	}
+	return stream, nil
+}
+
+func (c *efQuantCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	lg, dev := env.Graph, env.Dev
+	n := dev.Size()
+	model := dev.Model()
+	// Send-side kernels run twice over every element: quantize, then the
+	// error-feedback self-dequantization that measures the residual.
+	dev.Clock().Advance(timing.Quant, model.QuantTime(2*wireElems(lg.SendTo, h.Cols)))
+	payloads := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		buf, err := c.encodeEF(h, lg.SendTo[q], c.fwdResid[l][q], dev.Rand())
+		if err != nil {
+			return err
+		}
+		payloads[q] = buf
+	}
+	recv := dev.RingAll2All(payloads)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		idx := haloIdx(lg, p)
+		if err := quant.DequantizeRows(recv[p], xFull, idx, len(idx), c.bits); err != nil {
+			return fmt.Errorf("ef-quant: rank %d from %d: %w", dev.Rank(), p, err)
+		}
+	}
+	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.RecvFrom, xFull.Cols)))
+	dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
+	return nil
+}
+
+func (c *efQuantCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	lg, dev := env.Graph, env.Dev
+	n := dev.Size()
+	model := dev.Model()
+	dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
+	dev.Clock().Advance(timing.Quant, model.QuantTime(2*wireElems(lg.RecvFrom, dxFull.Cols)))
+	payloads := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		buf, err := c.encodeEF(dxFull, haloIdx(lg, p), c.bwdResid[l][p], dev.Rand())
+		if err != nil {
+			return err
+		}
+		payloads[p] = buf
+	}
+	recv := dev.RingAll2All(payloads)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		tmp := tensor.New(len(lg.SendTo[q]), dxLocal.Cols)
+		if err := quant.DequantizeRows(recv[q], tmp, nil, tmp.Rows, c.bits); err != nil {
+			return fmt.Errorf("ef-quant: rank %d grads from %d: %w", dev.Rank(), q, err)
+		}
+		dxLocal.ScatterAddRows(int32sToInts(lg.SendTo[q]), tmp)
+	}
+	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.SendTo, dxLocal.Cols)))
+	return nil
+}
+
+func (c *efQuantCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// ForwardErrorBound: at epoch 0 the residual is zero, so the decode error
+// is plain uniform quantization — one level S = (mx−mn)/(2^b−1).
+func (c *efQuantCodec) ForwardErrorBound(mn, mx float32, _ int) float64 {
+	return float64(mx-mn) / float64(c.bits.Levels())
+}
+
+func (c *efQuantCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	out := make([]int, lg.Parts)
+	for q := range out {
+		out[q] = quant.WireSize(len(lg.SendTo[q]), dim, c.bits)
+	}
+	return out
+}

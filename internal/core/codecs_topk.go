@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/partition"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// ---- topk: magnitude top-k sparsification ----
+//
+// The sparsification competitor: each row ships only its k
+// largest-magnitude entries (k = ⌈density·dim⌉); the receiver zero-fills
+// the rest. Stateless — every epoch's selection is independent — so the
+// codec is swap-invariant under the conformance suite's instance-rebuild
+// check.
+//
+// Wire format per destination:
+//
+//	[uint32 k] then per row, in wire order:
+//	    k × uint32 column indices (ascending) · k × float32 values
+//
+// The layout is fixed given (rows, k), and the decoder validates the
+// header, the stream length and every index, so corrupted wire bytes
+// error instead of panicking (see FuzzCodecDecode).
+
+// topkK returns the per-row entry budget for dim columns at density.
+func topkK(dim int, density float64) int {
+	k := int(math.Ceil(density * float64(dim)))
+	if k < 1 {
+		k = 1
+	}
+	if k > dim {
+		k = dim
+	}
+	return k
+}
+
+// topkWireSize returns the exact encodeTopK stream size.
+func topkWireSize(rows, k int) int { return 4 + rows*k*8 }
+
+// topkWorse reports whether entry a ranks below entry b in the keep
+// order: smaller magnitude, or equal magnitude with the higher column
+// index (ties prefer the lower index, so the selection is deterministic).
+func topkWorse(absA float64, idxA int, absB float64, idxB int) bool {
+	if absA != absB {
+		return absA < absB
+	}
+	return idxA > idxB
+}
+
+// topkSelect writes into keep the k column indices of row with the
+// largest magnitudes, ascending. heapIdx/heapAbs are k-sized scratch for
+// the min-heap of kept entries (root = worst kept), so selection is
+// O(dim·log k) with no per-row allocation.
+func topkSelect(row []float32, k int, heapIdx []int, heapAbs []float64, keep []int) []int {
+	n := 0
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			m := l
+			if r := l + 1; r < n && topkWorse(heapAbs[r], heapIdx[r], heapAbs[l], heapIdx[l]) {
+				m = r
+			}
+			if topkWorse(heapAbs[i], heapIdx[i], heapAbs[m], heapIdx[m]) {
+				return
+			}
+			heapIdx[i], heapIdx[m] = heapIdx[m], heapIdx[i]
+			heapAbs[i], heapAbs[m] = heapAbs[m], heapAbs[i]
+			i = m
+		}
+	}
+	for i, v := range row {
+		a := math.Abs(float64(v))
+		switch {
+		case n < k:
+			heapIdx[n], heapAbs[n] = i, a
+			n++
+			for c := n - 1; c > 0; {
+				p := (c - 1) / 2
+				if !topkWorse(heapAbs[c], heapIdx[c], heapAbs[p], heapIdx[p]) {
+					break
+				}
+				heapIdx[c], heapIdx[p] = heapIdx[p], heapIdx[c]
+				heapAbs[c], heapAbs[p] = heapAbs[p], heapAbs[c]
+				c = p
+			}
+		case k > 0 && topkWorse(heapAbs[0], heapIdx[0], a, i):
+			heapIdx[0], heapAbs[0] = i, a
+			siftDown(0)
+		}
+	}
+	keep = append(keep[:0], heapIdx[:n]...)
+	sort.Ints(keep)
+	return keep
+}
+
+// encodeTopK serializes rows idx of x keeping each row's k
+// largest-magnitude entries. Ties break toward the lower column index,
+// and the kept indices are written in ascending order, so the stream is
+// deterministic.
+func encodeTopK(x *tensor.Matrix, idx []int32, k int) []byte {
+	out := make([]byte, topkWireSize(len(idx), k))
+	binary.LittleEndian.PutUint32(out, uint32(k))
+	off := 4
+	heapIdx := make([]int, k)
+	heapAbs := make([]float64, k)
+	scratch := make([]int, 0, k)
+	for _, r := range idx {
+		row := x.Row(int(r))
+		keep := topkSelect(row, k, heapIdx, heapAbs, scratch)
+		for _, c := range keep {
+			binary.LittleEndian.PutUint32(out[off:], uint32(c))
+			off += 4
+		}
+		for _, c := range keep {
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(row[c]))
+			off += 4
+		}
+	}
+	return out
+}
+
+// decodeTopK decodes an encodeTopK stream into dst rows rows[i]+rowOffset.
+// add=false overwrites each row (zeroing the dropped entries); add=true
+// accumulates (the backward scatter-add).
+func decodeTopK(buf []byte, dst *tensor.Matrix, rows []int32, rowOffset int, add bool) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("core: topk stream is %d bytes, want at least the 4-byte header", len(buf))
+	}
+	k := int(binary.LittleEndian.Uint32(buf))
+	if k > dst.Cols {
+		return fmt.Errorf("core: topk k=%d exceeds row dimension %d", k, dst.Cols)
+	}
+	// The encoder clamps k to >= 1 whenever rows carry data, so a zero in
+	// the header is corruption — accepting it would silently zero every
+	// received halo row.
+	if k == 0 && dst.Cols > 0 && len(rows) > 0 {
+		return fmt.Errorf("core: topk stream header k=0 for %d-column rows", dst.Cols)
+	}
+	if want := topkWireSize(len(rows), k); len(buf) != want {
+		return fmt.Errorf("core: topk stream is %d bytes, want %d (rows=%d k=%d)", len(buf), want, len(rows), k)
+	}
+	off := 4
+	for _, r := range rows {
+		row := dst.Row(int(r) + rowOffset)
+		if !add {
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		vals := off + 4*k
+		for i := 0; i < k; i++ {
+			col := binary.LittleEndian.Uint32(buf[off+4*i:])
+			if int(col) >= dst.Cols {
+				return fmt.Errorf("core: topk column index %d out of range (dim %d)", col, dst.Cols)
+			}
+			v := math.Float32frombits(binary.LittleEndian.Uint32(buf[vals+4*i:]))
+			if add {
+				row[col] += v
+			} else {
+				row[col] = v
+			}
+		}
+		off += 8 * k
+	}
+	return nil
+}
+
+type topkCodec struct {
+	density float64
+}
+
+func newTopKCodec(env *CodecEnv) (MessageCodec, error) {
+	return &topkCodec{density: env.Cfg.TopKDensity}, nil
+}
+
+func (c *topkCodec) Name() string { return CodecTopK }
+
+func (c *topkCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+	lg, dev := env.Graph, env.Dev
+	n := dev.Size()
+	model := dev.Model()
+	k := topkK(h.Cols, c.density)
+	// Selection scans every candidate element; charge it like the
+	// quantization kernels.
+	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.SendTo, h.Cols)))
+	payloads := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		payloads[q] = encodeTopK(h, lg.SendTo[q], k)
+	}
+	recv := dev.RingAll2All(payloads)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		if err := decodeTopK(recv[p], xFull, lg.RecvFrom[p], lg.NumLocal, false); err != nil {
+			return fmt.Errorf("topk: rank %d from %d: %w", dev.Rank(), p, err)
+		}
+	}
+	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.RecvFrom, xFull.Cols)))
+	dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
+	return nil
+}
+
+func (c *topkCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
+	lg, dev := env.Graph, env.Dev
+	n := dev.Size()
+	model := dev.Model()
+	k := topkK(dxFull.Cols, c.density)
+	dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
+	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.RecvFrom, dxFull.Cols)))
+	payloads := make([][]byte, n)
+	for p := 0; p < n; p++ {
+		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
+			continue
+		}
+		payloads[p] = encodeTopK(dxFull, haloIdx(lg, p), k)
+	}
+	recv := dev.RingAll2All(payloads)
+	for q := 0; q < n; q++ {
+		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
+			continue
+		}
+		if err := decodeTopK(recv[q], dxLocal, lg.SendTo[q], 0, true); err != nil {
+			return fmt.Errorf("topk: rank %d grads from %d: %w", dev.Rank(), q, err)
+		}
+	}
+	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.SendTo, dxLocal.Cols)))
+	return nil
+}
+
+func (c *topkCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
+
+// ForwardErrorBound: a dropped entry decodes to zero, so the per-element
+// error is bounded by the row's largest magnitude.
+func (c *topkCodec) ForwardErrorBound(mn, mx float32, _ int) float64 {
+	return math.Max(math.Abs(float64(mn)), math.Abs(float64(mx)))
+}
+
+func (c *topkCodec) ForwardWireSizes(lg *partition.LocalGraph, dim int) []int {
+	k := topkK(dim, c.density)
+	out := make([]int, lg.Parts)
+	for q := range out {
+		if n := len(lg.SendTo[q]); n > 0 {
+			out[q] = topkWireSize(n, k)
+		}
+	}
+	return out
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -92,7 +92,10 @@ func TestTransportLossParity(t *testing.T) {
 func TestShardedStalenessLossParity(t *testing.T) {
 	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
 	dep := Deploy(ds, 4, GCN, partition.Block)
-	for _, codec := range []string{CodecAdaptive, CodecSancus} {
+	// Adaptive and SANCUS exercise the gather/scatter and broadcast paths;
+	// ef-quant and delta pin that residual state carried across epochs
+	// survives the run-ahead.
+	for _, codec := range []string{CodecAdaptive, CodecSancus, CodecEFQuant, CodecDelta} {
 		ref := confTrain(t, dep, confTrainConfig(codec))
 		for _, stale := range []int{1, 4, 16} {
 			cfg := confTrainConfig(codec)
@@ -107,37 +110,35 @@ func TestShardedStalenessLossParity(t *testing.T) {
 
 // compareRuns requires bit-identical convergence; withTime additionally
 // requires identical simulated clocks (only guaranteed at staleness 0).
+// It reports via runDivergence so the conformance suite and the parity
+// tests share one definition of "bit-identical".
 func compareRuns(t *testing.T, label string, ref, got *metrics.RunResult, withTime bool) {
 	t.Helper()
-	if len(got.Epochs) != len(ref.Epochs) {
-		t.Fatalf("%s: %d epoch records, want %d", label, len(got.Epochs), len(ref.Epochs))
+	if desc := runDivergence(ref, got, withTime); desc != "" {
+		t.Errorf("%s: runs diverged (%s)", label, desc)
 	}
-	for i := range ref.Epochs {
-		if got.Epochs[i].Loss != ref.Epochs[i].Loss {
-			t.Errorf("%s epoch %d: loss %v, want bit-identical %v", label, i, got.Epochs[i].Loss, ref.Epochs[i].Loss)
+}
+
+// TestNewCodecCrossBackendParity pins the PR-5 codec family explicitly:
+// at staleness 0 each of ef-quant, topk and delta must produce loss
+// curves, simulated clocks and byte ledgers bit-identical to the
+// in-process reference regardless of the sharded backend's worker-pool
+// size (TestTransportLossParity covers them too via the registry, but
+// this test survives a registry reshuffle).
+func TestNewCodecCrossBackendParity(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	for _, codec := range []string{CodecEFQuant, CodecTopK, CodecDelta} {
+		cfg := confTrainConfig(codec)
+		cfg.DeltaKeyframeEvery = 2 // hit both keyframe and residual epochs
+		ref := confTrain(t, dep, cfg)
+		for _, workers := range []int{1, 3} {
+			got := cfg
+			got.Transport = TransportShardedAsync
+			got.TransportWorkers = workers
+			res := confTrain(t, dep, got)
+			compareRuns(t, fmt.Sprintf("%s/workers=%d", codec, workers), ref, res, true)
 		}
-		va, vb := got.Epochs[i].ValAcc, ref.Epochs[i].ValAcc
-		if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
-			t.Errorf("%s epoch %d: val %v, want %v", label, i, va, vb)
-		}
-		if withTime && got.Epochs[i].SimTime != ref.Epochs[i].SimTime {
-			t.Errorf("%s epoch %d: sim time %v, want %v", label, i, got.Epochs[i].SimTime, ref.Epochs[i].SimTime)
-		}
-	}
-	if got.FinalTest != ref.FinalTest {
-		t.Errorf("%s: final test %v, want %v", label, got.FinalTest, ref.FinalTest)
-	}
-	// Byte totals are schedule-independent: every payload moves exactly
-	// once regardless of staleness.
-	for s := range ref.BytesMoved {
-		for d := range ref.BytesMoved[s] {
-			if got.BytesMoved[s][d] != ref.BytesMoved[s][d] {
-				t.Errorf("%s: pair (%d,%d) moved %d bytes, want %d", label, s, d, got.BytesMoved[s][d], ref.BytesMoved[s][d])
-			}
-		}
-	}
-	if withTime && got.WallClock != ref.WallClock {
-		t.Errorf("%s: wall clock %v, want %v", label, got.WallClock, ref.WallClock)
 	}
 }
 

@@ -100,13 +100,9 @@ func exchangeGradFP(dev Transport, lg *partition.LocalGraph, dxFull, dxLocal *te
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		// Halo rows live at NumLocal+slot; reuse rowsToBytes via shifted
-		// index list.
-		idx := make([]int32, len(lg.RecvFrom[p]))
-		for i, s := range lg.RecvFrom[p] {
-			idx[i] = s + int32(lg.NumLocal)
-		}
-		payloads[p] = rowsToBytes(dxFull, idx)
+		// Halo rows live at NumLocal+slot; reuse rowsToBytes via the
+		// shifted index list.
+		payloads[p] = rowsToBytes(dxFull, haloIdx(lg, p))
 	}
 	recv := dev.RingAll2All(payloads)
 	for q := 0; q < n; q++ {
@@ -118,6 +114,38 @@ func exchangeGradFP(dev Transport, lg *partition.LocalGraph, dxFull, dxLocal *te
 		}
 	}
 	return nil
+}
+
+// haloIdx returns the xFull row indices of the halo slots received from
+// device p (wire order RecvFrom[p], shifted past the local block).
+func haloIdx(lg *partition.LocalGraph, p int) []int32 {
+	idx := make([]int32, len(lg.RecvFrom[p]))
+	for i, s := range lg.RecvFrom[p] {
+		idx[i] = s + int32(lg.NumLocal)
+	}
+	return idx
+}
+
+// wireElems counts the float32 elements across the given wire lists at
+// dim columns — the element count compression codecs charge to the Quant
+// kernel category.
+func wireElems(lists [][]int32, dim int) int {
+	n := 0
+	for _, l := range lists {
+		n += len(l) * dim
+	}
+	return n
+}
+
+// messageDims returns the per-layer message dimension: layer 0 ships
+// input features, deeper layers ship hidden activations.
+func messageDims(cfg *Config, inDim int) []int {
+	dims := make([]int, cfg.Layers)
+	dims[0] = inDim
+	for l := 1; l < cfg.Layers; l++ {
+		dims[l] = cfg.Hidden
+	}
+	return dims
 }
 
 // widthTable holds the current bit-width assignment on one device for one
@@ -191,11 +219,7 @@ func exchangeHaloQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		idx := make([]int32, len(lg.RecvFrom[p]))
-		for i, s := range lg.RecvFrom[p] {
-			idx[i] = s + int32(lg.NumLocal)
-		}
-		if err := quant.DequantizeMixed(recv[p], xFull, idx, wt.recv[p]); err != nil {
+		if err := quant.DequantizeMixed(recv[p], xFull, haloIdx(lg, p), wt.recv[p]); err != nil {
 			return 0, fmt.Errorf("rank %d from %d: %w", dev.Rank(), p, err)
 		}
 	}
@@ -216,11 +240,7 @@ func exchangeGradQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		idx := make([]int32, len(lg.RecvFrom[p]))
-		for i, s := range lg.RecvFrom[p] {
-			idx[i] = s + int32(lg.NumLocal)
-		}
-		buf, err := quant.QuantizeMixed(dxFull, idx, wt.send[p], dev.Rand())
+		buf, err := quant.QuantizeMixed(dxFull, haloIdx(lg, p), wt.send[p], dev.Rand())
 		if err != nil {
 			return 0, err
 		}

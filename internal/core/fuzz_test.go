@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// FuzzCodecDecode feeds mutated wire bytes to every codec decoder in the
+// package. Decoders sit on the trust boundary of any future multi-process
+// transport, so they must reject corrupted streams with an error — never
+// a panic or an out-of-range write. Run as a regular test it replays the
+// seed corpus; CI additionally runs a short -fuzztime smoke.
+func FuzzCodecDecode(f *testing.F) {
+	// Seed with one valid stream per wire format so mutation starts from
+	// decodable inputs.
+	x := tensor.New(3, 8)
+	rng := tensor.NewRNG(1)
+	x.FillUniform(rng, -1, 1)
+	idx := []int32{0, 1, 2}
+	f.Add(encodeTopK(x, idx, 2))
+	var prev *tensor.Matrix
+	if kf, err := encodeDelta(x, idx, &prev, true, rng); err == nil {
+		f.Add(kf)
+	}
+	if d, err := encodeDelta(x, idx, &prev, false, rng); err == nil {
+		f.Add(d)
+	}
+	f.Add(quant.QuantizeRows(x, idx, quant.B2, rng))
+	f.Add(rowsToBytes(x, idx))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := tensor.New(4, 8)
+		rows := []int32{0, 1, 2}
+
+		// topk: overwrite and scatter-add decode paths.
+		_ = decodeTopK(data, dst, rows, 1, false)
+		_ = decodeTopK(data, dst, rows, 0, true)
+
+		// delta: keyframe expectation, residual expectation with and
+		// without a reference.
+		var noRef *tensor.Matrix
+		_, _ = decodeDelta(data, 3, 8, &noRef, true)
+		noRef = nil
+		_, _ = decodeDelta(data, 3, 8, &noRef, false)
+		ref := tensor.New(3, 8)
+		_, _ = decodeDelta(data, 3, 8, &ref, false)
+
+		// Quantized streams: every packed width, plus the mixed-width
+		// grouped layout the adaptive codec ships.
+		for _, b := range []quant.BitWidth{quant.B2, quant.B4, quant.B8} {
+			_ = quant.DequantizeRows(data, dst, rows, len(rows), b)
+			_ = quant.DequantizeMixed(data, dst, rows, quant.UniformWidths(len(rows), b))
+		}
+
+		// Full-precision rows (fp32 / pipegcn / sancus payloads).
+		_ = bytesToRows(data, dst, rows, 1)
+		_ = addBytesToRows(data, dst, rows)
+	})
+}

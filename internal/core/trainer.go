@@ -32,16 +32,19 @@ func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metri
 		return nil, err
 	}
 	codecName := cfg.Codec
-	if codecName == "" {
+	factory := cfg.codecFactory
+	if factory == nil {
 		var err error
-		codecName, err = CodecForMethod(cfg.Method)
+		if codecName == "" {
+			codecName, err = CodecForMethod(cfg.Method)
+			if err != nil {
+				return nil, err
+			}
+		}
+		factory, err = LookupCodec(codecName)
 		if err != nil {
 			return nil, err
 		}
-	}
-	factory, err := LookupCodec(codecName)
-	if err != nil {
-		return nil, err
 	}
 	transportName := cfg.Transport
 	if transportName == "" {

@@ -151,6 +151,25 @@ type MessageCodec = core.MessageCodec
 // CodecFactory builds one device's codec instance for one run.
 type CodecFactory = core.CodecFactory
 
+// CodecEnv is the construction-time context a CodecFactory receives;
+// ExchangeEnv is the per-device runtime context handed to codec calls.
+// Both are re-exported so custom codecs can be written against the
+// public package alone.
+type (
+	CodecEnv    = core.CodecEnv
+	ExchangeEnv = core.ExchangeEnv
+)
+
+// Optional codec-contract declarations, enforced by VerifyCodec:
+// StatefulCodec declares cross-epoch instance state, LossyCodec bounds
+// the epoch-0 decode error, and WireAccountant reports exact wire sizes
+// for the byte ledger (every codec must implement WireAccountant).
+type (
+	StatefulCodec  = core.StatefulCodec
+	LossyCodec     = core.LossyCodec
+	WireAccountant = core.WireAccountant
+)
+
 // RegisterCodec makes a message codec selectable by name.
 func RegisterCodec(name string, f CodecFactory) { core.RegisterCodec(name, f) }
 
@@ -169,6 +188,15 @@ const (
 	CodecAdaptive = core.CodecAdaptive
 	CodecPipeGCN  = core.CodecPipeGCN
 	CodecSancus   = core.CodecSancus
+	// CodecEFQuant quantizes every message at WithUniformBits's width and
+	// carries the quantization error as a residual into the next epoch.
+	CodecEFQuant = core.CodecEFQuant
+	// CodecTopK ships only each row's top-⌈density·dim⌉ entries by
+	// magnitude (WithTopKDensity).
+	CodecTopK = core.CodecTopK
+	// CodecDelta ships 8-bit residuals against the previous epoch's
+	// payload, refreshed by full-precision keyframes (WithDeltaKeyframe).
+	CodecDelta = core.CodecDelta
 )
 
 // Transport is the device-side communication surface; Runtime launches
@@ -213,4 +241,22 @@ type TransportViolation = core.Violation
 // it conforms. Run it against any custom backend before training on it.
 func VerifyTransport(f RuntimeFactory, parts int) []TransportViolation {
 	return core.ConformTransport(f, parts)
+}
+
+// CodecViolation is one conformance failure reported by VerifyCodec.
+type CodecViolation = core.Violation
+
+// VerifyCodec checks a message codec (built by f, exactly as a training
+// run would build it) against the codec contract with parts devices:
+// decode-of-encode within the declared error bound, exact byte
+// accounting against the declared wire sizes, statelessness-or-declared-
+// state discipline under instance rebuilds on both transport backends,
+// and fixed-seed loss-curve reproducibility including cross-backend
+// parity at staleness 0. Run it against any custom codec before training
+// with it:
+//
+//	f, _ := adaqp.LookupCodec("my-codec")
+//	if vs := adaqp.VerifyCodec(f, 4); len(vs) > 0 { ... }
+func VerifyCodec(f CodecFactory, parts int) []CodecViolation {
+	return core.ConformCodec(f, parts)
 }

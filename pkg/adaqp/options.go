@@ -242,6 +242,31 @@ func WithUniformBits(bits int) Option {
 	}
 }
 
+// WithTopKDensity sets the fraction of each row's entries the topk codec
+// keeps, in (0, 1] (default 0.1).
+func WithTopKDensity(d float64) Option {
+	return func(s *settings) error {
+		if !(d > 0 && d <= 1) { // written to also reject NaN
+			return fmt.Errorf("adaqp: top-k density must be in (0,1], got %v", d)
+		}
+		s.cfg.TopKDensity = d
+		return nil
+	}
+}
+
+// WithDeltaKeyframe sets how often (in epochs) the delta codec ships a
+// full-precision keyframe instead of a quantized residual against the
+// previous epoch's payload (default 10).
+func WithDeltaKeyframe(every int) Option {
+	return func(s *settings) error {
+		if every < 1 {
+			return fmt.Errorf("adaqp: delta keyframe period must be >= 1, got %d", every)
+		}
+		s.cfg.DeltaKeyframeEvery = every
+		return nil
+	}
+}
+
 // WithSancus sets SANCUS's staleness controls: re-broadcast when relative
 // drift exceeds drift, or at the latest every maxStale epochs.
 func WithSancus(drift float64, maxStale int) Option {
