@@ -72,61 +72,44 @@ func main() {
 		}
 	}
 
-	ds, err := adaqp.LoadDataset(*dataset, *scale)
+	// Flags populate the same declarative JobSpec cmd/adaqpd accepts as
+	// job JSON, and JobSpec.Options is the single flag/JSON → Option
+	// construction path — the two front ends cannot drift.
+	spec := adaqp.JobSpec{
+		Dataset: *dataset, Scale: *scale,
+		Model: *model, Method: *method,
+		Codec: *codec, Transport: *tport,
+		Workers: *workers, Staleness: *stale,
+		Parts: *parts, Epochs: *epochs, Hidden: *hidden,
+		LR: *lr, Dropout: dropout, Lambda: lambda, EvalEvery: evalEach,
+		GroupSize: *group, ReassignPeriod: *period,
+		UniformBits: *bits, TopKDensity: *density, DeltaKeyframe: *keyframe,
+		Seed: *seed,
+	}
+	ds, err := spec.Load()
 	if err != nil {
 		fatal(err)
 	}
-	mk, err := adaqp.ParseModelKind(*model)
+	opts, err := spec.Options()
 	if err != nil {
 		fatal(err)
 	}
-	m, err := adaqp.ParseMethod(*method)
-	if err != nil {
-		fatal(err)
-	}
-
-	opts := []adaqp.Option{
-		adaqp.WithModel(mk),
-		adaqp.WithMethod(m),
-		adaqp.WithParts(*parts),
-		adaqp.WithEpochs(*epochs),
-		adaqp.WithHidden(*hidden),
-		adaqp.WithLR(*lr),
-		adaqp.WithDropout(*dropout),
-		adaqp.WithLambda(*lambda),
-		adaqp.WithGroupSize(*group),
-		adaqp.WithReassignPeriod(*period),
-		adaqp.WithUniformBits(*bits),
-		adaqp.WithTopKDensity(*density),
-		adaqp.WithDeltaKeyframe(*keyframe),
-		adaqp.WithSeed(*seed),
-		adaqp.WithEvalEvery(*evalEach),
-		// Stream the convergence trace as epochs complete instead of
-		// post-processing RunResult internals.
-		adaqp.WithEpochCallback(func(e adaqp.EpochStat) {
-			if math.IsNaN(e.ValAcc) {
-				return
-			}
-			fmt.Printf("epoch %4d  loss %.4f  val %.4f  t=%.3fs\n", e.Epoch, e.Loss, e.ValAcc, e.SimTime)
-		}),
-	}
-	if *codec != "" {
-		opts = append(opts, adaqp.WithCodec(*codec))
-	}
-	if *tport != "" {
-		opts = append(opts, adaqp.WithTransport(*tport))
-	}
-	if *workers != 0 {
-		opts = append(opts, adaqp.WithWorkers(*workers))
-	}
-	if *stale != 0 {
-		opts = append(opts, adaqp.WithStalenessBound(*stale))
-	}
+	// Stream the convergence trace as epochs complete instead of
+	// post-processing RunResult internals.
+	opts = append(opts, adaqp.WithEpochCallback(func(e adaqp.EpochStat) {
+		if math.IsNaN(e.ValAcc) {
+			return
+		}
+		fmt.Printf("epoch %4d  loss %.4f  val %.4f  t=%.3fs\n", e.Epoch, e.Loss, e.ValAcc, e.SimTime)
+	}))
 
 	eng, err := adaqp.New(ds, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	// Already validated by spec.Options; parsed again only for display.
+	mk, _ := adaqp.ParseModelKind(*model)
+	m, _ := adaqp.ParseMethod(*method)
 	fmt.Printf("dataset %v\nmodel %v  method %v  parts %d  epochs %d\n\n",
 		ds, mk, m, *parts, *epochs)
 

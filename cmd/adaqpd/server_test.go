@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/adaqp"
+)
+
+func testServer(t *testing.T, opts ...adaqp.SchedulerOption) (*httptest.Server, *adaqp.Scheduler) {
+	t.Helper()
+	sched, err := adaqp.NewScheduler(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(sched).handler())
+	t.Cleanup(ts.Close)
+	return ts, sched
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (*http.Response, jobJSON) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job jobJSON
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatalf("submit response %q: %v", body, err)
+		}
+	}
+	return resp, job
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("response %q: %v", body, err)
+		}
+	}
+	return resp
+}
+
+// tinyJob is a fast fixed-seed job spec (a few ms of training).
+const tinyJob = `{"dataset":"tiny","scale":0.25,"parts":2,"method":"vanilla","epochs":2,"hidden":8,"eval_every":0}`
+
+// longJob cannot finish within the test unless canceled.
+const longJob = `{"dataset":"tiny","scale":0.25,"parts":2,"method":"vanilla","epochs":100000,"hidden":8,"eval_every":0}`
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) jobJSON {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		var job jobJSON
+		resp := getJSON(t, ts.URL+"/jobs/"+id, &job)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, resp.StatusCode)
+		}
+		switch job.Status {
+		case "done", "failed", "canceled":
+			return job
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %s stuck at %q", id, job.Status)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestSubmitPollResultRoundTrip(t *testing.T) {
+	ts, _ := testServer(t, adaqp.WithMaxConcurrentSessions(2))
+
+	resp, job := postJob(t, ts, tinyJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	if job.ID == "" || job.Status != "queued" {
+		t.Fatalf("submit response = %+v", job)
+	}
+
+	final := waitTerminal(t, ts, job.ID)
+	if final.Status != "done" {
+		t.Fatalf("final status = %q (error %q), want done", final.Status, final.Error)
+	}
+	if final.EpochsDone != 2 {
+		t.Fatalf("epochs_done = %d, want 2", final.EpochsDone)
+	}
+	if final.Submitted == "" || final.Started == "" || final.Finished == "" {
+		t.Fatalf("missing timestamps: %+v", final)
+	}
+
+	var res resultJSON
+	if resp := getJSON(t, ts.URL+"/jobs/"+job.ID+"/result", &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d, want 200", resp.StatusCode)
+	}
+	if res.Dataset != "tiny" || res.Method != "Vanilla" || res.Codec != "fp32" ||
+		res.Parts != 2 || res.Epochs != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.FinalLoss == 0 || res.WallClock == 0 {
+		t.Fatalf("result missing measurements: %+v", res)
+	}
+
+	// The job list includes it.
+	var list struct {
+		Jobs []jobJSON `json:"jobs"`
+	}
+	if resp := getJSON(t, ts.URL+"/jobs", &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list = %d", resp.StatusCode)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != job.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"dataset":`},
+		{"unknown field", `{"dataset":"tiny","no_such_field":1}`},
+		{"unknown dataset", `{"dataset":"no-such"}`},
+		{"unknown codec", `{"dataset":"tiny","codec":"no-such"}`},
+		{"unknown transport", `{"dataset":"tiny","transport":"no-such"}`},
+		{"unknown method", `{"dataset":"tiny","method":"no-such"}`},
+		{"missing dataset", `{}`},
+		{"invalid epochs", `{"dataset":"tiny","epochs":-3}`},
+	} {
+		resp, _ := postJob(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueueFullReturns429WithRetryAfter(t *testing.T) {
+	ts, _ := testServer(t,
+		adaqp.WithMaxConcurrentSessions(1),
+		adaqp.WithQueueDepth(1),
+		adaqp.WithRetryAfter(3*time.Second))
+
+	// Occupy the only worker slot (wait for the job to actually start so
+	// the queue is provably empty again), then fill the queue.
+	_, running := postJob(t, ts, longJob)
+	waitRunning(t, ts, running.ID)
+	resp, queued := postJob(t, ts, longJob)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202", resp.StatusCode)
+	}
+
+	resp, _ = postJob(t, ts, longJob)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+
+	// DELETE both; the canceled sessions report the typed cancellation.
+	for _, id := range []string{running.ID, queued.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("DELETE %s = %d, want 202", id, resp.StatusCode)
+		}
+		final := waitTerminal(t, ts, id)
+		if final.Status != "canceled" {
+			t.Fatalf("job %s final status = %q, want canceled", id, final.Status)
+		}
+	}
+
+	// A canceled job has no result document.
+	if resp := getJSON(t, ts.URL+"/jobs/"+running.ID+"/result", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of canceled job = %d, want 409", resp.StatusCode)
+	}
+}
+
+func waitRunning(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		var job jobJSON
+		getJSON(t, ts.URL+"/jobs/"+id, &job)
+		if job.Status == "running" && job.EpochsDone >= 1 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %s never started (status %q)", id, job.Status)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	ts, _ := testServer(t)
+	if resp := getJSON(t, ts.URL+"/jobs/job-999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status of unknown job = %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/jobs/job-999/result", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("result of unknown job = %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/job-999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestResultBeforeTerminalIs409(t *testing.T) {
+	ts, _ := testServer(t, adaqp.WithMaxConcurrentSessions(1))
+	_, job := postJob(t, ts, longJob)
+	if resp := getJSON(t, ts.URL+"/jobs/"+job.ID+"/result", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of running job = %d, want 409", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitTerminal(t, ts, job.ID)
+}
+
+func TestHealthzAndMetricsAndDrain(t *testing.T) {
+	ts, sched := testServer(t, adaqp.WithMaxConcurrentSessions(2))
+
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	_, job := postJob(t, ts, tinyJob)
+	waitTerminal(t, ts, job.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"adaqpd_sessions_submitted_total 1",
+		"adaqpd_sessions_started_total 1",
+		"adaqpd_sessions_completed_total 1",
+		"adaqpd_sessions_rejected_total 0",
+		"adaqpd_queue_depth 0",
+		"adaqpd_sessions_running 0",
+		"# TYPE adaqpd_queue_depth gauge",
+		"# TYPE adaqpd_sessions_completed_total counter",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+
+	// Draining flips healthz to 503 and submissions to 503.
+	if err := sched.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	resp2, _ := postJob(t, ts, tinyJob)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("draining rejection missing Retry-After")
+	}
+}
+
+// TestSpecFieldsReachTraining submits a spec exercising non-default codec
+// and transport fields and verifies they reach the run via the result doc.
+func TestSpecFieldsReachTraining(t *testing.T) {
+	ts, _ := testServer(t, adaqp.WithMaxConcurrentSessions(1))
+	spec := `{"dataset":"tiny","scale":0.25,"parts":2,"method":"vanilla","codec":"ef-quant",
+	          "bits":4,"transport":"sharded-async","workers":2,"epochs":2,"hidden":8,"eval_every":0,"seed":3}`
+	resp, job := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts, job.ID)
+	if final.Status != "done" {
+		t.Fatalf("status = %q (error %q), want done", final.Status, final.Error)
+	}
+	var res resultJSON
+	getJSON(t, ts.URL+"/jobs/"+job.ID+"/result", &res)
+	if res.Codec != "ef-quant" {
+		t.Fatalf("codec = %q, want ef-quant (spec field lost?)", res.Codec)
+	}
+}

@@ -1,0 +1,205 @@
+// Loadgen simulates many clients hammering the session scheduler with
+// small fixed-seed training jobs and reports serving capacity: sessions
+// per second and the p50/p99/max completion latency — the measurement the
+// "millions of users" direction needs before any tuning conversation.
+//
+// Two modes share the same client loop:
+//
+//	go run ./examples/loadgen                      # in-process scheduler
+//	go run ./examples/loadgen -clients 200 -jobs 2
+//	go run ./examples/loadgen -addr localhost:8080 # drive a running adaqpd
+//
+// Every client submits its jobs sequentially, backing off and retrying
+// when admission control rejects (queue full) — so the run also shows how
+// often backpressure fired under the chosen concurrency.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/adaqp"
+)
+
+func main() {
+	var (
+		clients    = flag.Int("clients", 100, "concurrent clients")
+		jobs       = flag.Int("jobs", 2, "jobs each client submits sequentially")
+		workers    = flag.Int("max-concurrent", 4, "scheduler worker pool (in-process mode)")
+		queueDepth = flag.Int("queue-depth", 32, "scheduler queue depth (in-process mode)")
+		epochs     = flag.Int("epochs", 2, "epochs per job")
+		dataset    = flag.String("dataset", "tiny", "dataset per job")
+		scale      = flag.Float64("scale", 0.25, "dataset scale per job")
+		addr       = flag.String("addr", "", "drive a running adaqpd at this host:port instead of in-process")
+	)
+	flag.Parse()
+
+	spec := adaqp.JobSpec{
+		Dataset: *dataset, Scale: *scale, Parts: 2, Method: "vanilla",
+		Epochs: *epochs, Hidden: 8,
+	}
+	evalEvery := 0
+	spec.EvalEvery = &evalEvery
+
+	var submit submitFunc
+	var drain func()
+	if *addr == "" {
+		sched, err := adaqp.NewScheduler(
+			adaqp.WithMaxConcurrentSessions(*workers),
+			adaqp.WithQueueDepth(*queueDepth),
+			adaqp.WithRetryAfter(5*time.Millisecond))
+		if err != nil {
+			fatal(err)
+		}
+		submit = inprocessSubmit(sched)
+		drain = func() { sched.Drain(context.Background()) }
+		fmt.Printf("loadgen: in-process scheduler, %d workers, queue %d\n", *workers, *queueDepth)
+	} else {
+		submit = httpSubmit("http://" + *addr)
+		drain = func() {}
+		fmt.Printf("loadgen: driving adaqpd at %s\n", *addr)
+	}
+	fmt.Printf("loadgen: %d clients x %d jobs (%s scale %.2f, %d epochs)\n\n",
+		*clients, *jobs, *dataset, *scale, *epochs)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		retries   atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for i := 0; i < *jobs; i++ {
+				js := spec
+				js.Seed = uint64(client*(*jobs) + i + 1)
+				submitted := time.Now()
+				if err := submit(js, &retries); err != nil {
+					fmt.Fprintf(os.Stderr, "client %d job %d: %v\n", client, i, err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(submitted))
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	drain()
+
+	n := len(latencies)
+	if n == 0 {
+		fatal(errors.New("no sessions completed"))
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	quantile := func(q float64) time.Duration {
+		i := int(q * float64(n-1))
+		return latencies[i]
+	}
+	fmt.Printf("completed        %d sessions in %v\n", n, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput       %.1f sessions/s\n", float64(n)/elapsed.Seconds())
+	fmt.Printf("latency p50      %v\n", quantile(0.50).Round(time.Microsecond))
+	fmt.Printf("latency p99      %v\n", quantile(0.99).Round(time.Microsecond))
+	fmt.Printf("latency max      %v\n", latencies[n-1].Round(time.Microsecond))
+	fmt.Printf("queue-full backoffs %d\n", retries.Load())
+}
+
+// submitFunc submits one job and blocks until it completes.
+type submitFunc func(spec adaqp.JobSpec, retries *atomic.Int64) error
+
+func inprocessSubmit(sched *adaqp.Scheduler) submitFunc {
+	return func(spec adaqp.JobSpec, retries *atomic.Int64) error {
+		for {
+			h, err := sched.SubmitSpec(spec)
+			if errors.Is(err, adaqp.ErrQueueFull) {
+				retries.Add(1)
+				time.Sleep(sched.RetryAfter())
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			_, err = h.Wait(context.Background())
+			return err
+		}
+	}
+}
+
+// httpSubmit drives a live adaqpd daemon: POST the job, honor 429
+// Retry-After backpressure, poll status until terminal.
+func httpSubmit(base string) submitFunc {
+	return func(spec adaqp.JobSpec, retries *atomic.Int64) error {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		var id string
+		for {
+			resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			var job struct {
+				ID    string `json:"id"`
+				Error string `json:"error"`
+			}
+			dec := json.NewDecoder(resp.Body)
+			err = dec.Decode(&job)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retries.Add(1)
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				return fmt.Errorf("submit: %d %s", resp.StatusCode, job.Error)
+			}
+			id = job.ID
+			break
+		}
+		for {
+			resp, err := http.Get(base + "/jobs/" + id)
+			if err != nil {
+				return err
+			}
+			var job struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&job)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			switch job.Status {
+			case "done":
+				return nil
+			case "failed", "canceled":
+				return fmt.Errorf("job %s %s: %s", id, job.Status, job.Error)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -12,6 +14,12 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/timing"
 )
+
+// ErrCanceled is returned by a training run stopped through its context.
+// Cancellation is observed between epochs: the run finishes the epoch in
+// flight, agrees on the stop across all devices (so no device is left
+// waiting at a collective) and returns without final evaluation.
+var ErrCanceled = errors.New("core: training run canceled")
 
 // Train runs one full training job of cfg.Method over ds partitioned
 // parts ways (LDG partitioner) and returns the measured result. model may
@@ -28,6 +36,14 @@ func Train(ds *synthetic.Dataset, parts int, cfg Config, model *timing.CostModel
 // (defaulting per cfg.Method) moves boundary messages, and cfg's transport
 // backend (defaulting to the in-process cluster) moves bytes.
 func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metrics.RunResult, error) {
+	return TrainDeployedCtx(context.Background(), dep, cfg, model)
+}
+
+// TrainDeployedCtx is TrainDeployed under a cancellation context. When ctx
+// is canceled the run stops at the next epoch boundary and returns
+// ErrCanceled; a non-cancellable context (context.Background()) adds no
+// per-epoch overhead and leaves results bit-identical to TrainDeployed.
+func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *timing.CostModel) (*metrics.RunResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -109,6 +125,7 @@ func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metri
 			return err
 		}
 		w := &worker{
+			ctx: ctx,
 			dev: dev, cfg: &cfg, res: res,
 			lg:        dep.Locals[dev.Rank()],
 			task:      ds.Task,
@@ -141,6 +158,7 @@ func TrainDeployed(dep *Deployment, cfg Config, model *timing.CostModel) (*metri
 
 // worker is the per-device training state.
 type worker struct {
+	ctx       context.Context
 	dev       Transport
 	cfg       *Config
 	res       *metrics.RunResult
@@ -159,6 +177,9 @@ type worker struct {
 func (w *worker) run() error {
 	cfg := w.cfg
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if canceled := w.pollCancel(); canceled {
+			return ErrCanceled
+		}
 		loss, err := w.trainEpoch(epoch)
 		if err != nil {
 			return fmt.Errorf("rank %d epoch %d: %w", w.dev.Rank(), epoch, err)
@@ -280,6 +301,29 @@ func (w *worker) backward(epoch int, dlogits *tensor.Matrix) error {
 		d = dxLocal
 	}
 	return nil
+}
+
+// pollCancel agrees across all devices whether the run's context has been
+// canceled. Cancellation arrives asynchronously, so devices may observe it
+// at different times; every device shares its local observation over the
+// metrics sideband and the union decides, guaranteeing either all devices
+// stop at this epoch boundary or none do (a device stopping alone would
+// leave the others deadlocked at the next collective). Runs under a
+// non-cancellable context skip the exchange entirely.
+func (w *worker) pollCancel() bool {
+	if w.ctx == nil || w.ctx.Done() == nil {
+		return false
+	}
+	flag := []byte{0}
+	if w.ctx.Err() != nil {
+		flag[0] = 1
+	}
+	for _, b := range w.dev.RawAllGather(flag) {
+		if len(b) > 0 && b[0] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // globalSum sums a scalar across devices over the metrics sideband.

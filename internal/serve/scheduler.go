@@ -1,0 +1,396 @@
+// Package serve runs many sessions concurrently from one long-lived
+// process: a Scheduler admits work into a bounded queue, a fixed pool of
+// workers executes it, and every session carries its own cancellation
+// context — the serving layer the ROADMAP's "heavy traffic" north star
+// needs on top of the one-shot training Engine.
+//
+// The package is deliberately generic: a session is any
+// func(ctx, *Session) (any, error). The adaqp binding (per-session Engine
+// construction, epoch-progress streaming) lives in pkg/adaqp; the HTTP
+// front end in cmd/adaqpd. Keeping the scheduler free of training types
+// lets its admission-control and drain semantics be tested with
+// channel-controlled fake sessions, deterministically.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control errors. Submit wraps neither: errors.Is works directly.
+var (
+	// ErrQueueFull is returned when the session queue is at capacity.
+	// Callers should back off and retry (the HTTP layer maps this to
+	// 429 with a Retry-After header).
+	ErrQueueFull = errors.New("serve: session queue full")
+	// ErrDraining is returned once Drain has begun: in-flight and queued
+	// sessions complete, new ones are rejected.
+	ErrDraining = errors.New("serve: scheduler draining")
+)
+
+// Status is a session's lifecycle state.
+type Status int
+
+const (
+	// Queued: admitted, waiting for a worker slot.
+	Queued Status = iota
+	// Running: executing on a worker.
+	Running
+	// Done: completed successfully; Result holds the outcome.
+	Done
+	// Failed: completed with an error other than cancellation.
+	Failed
+	// Canceled: stopped by Cancel before or during execution.
+	Canceled
+)
+
+func (s Status) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// RunFunc executes one session's work. It must return promptly once ctx is
+// canceled (the trainer polls between epochs). sess is the session's own
+// record, for progress reporting via SetProgress.
+type RunFunc func(ctx context.Context, sess *Session) (any, error)
+
+// Options configures a Scheduler.
+type Options struct {
+	// MaxConcurrent is the worker-pool size: how many sessions execute
+	// simultaneously (<= 0 selects 2).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted sessions may wait for a worker
+	// (<= 0 selects 16). Submissions beyond it get ErrQueueFull.
+	QueueDepth int
+	// RetryAfter is the back-off hint attached to queue-full rejections
+	// (<= 0 selects 1s). The scheduler itself never sleeps on it.
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Counters is a point-in-time snapshot of the scheduler's lifetime
+// counters and live gauges (the /metrics surface).
+type Counters struct {
+	Submitted int64 // admitted into the queue
+	Started   int64 // began executing on a worker
+	Completed int64 // finished successfully
+	Failed    int64 // finished with a non-cancellation error
+	Canceled  int64 // stopped by Cancel (queued or running)
+	Rejected  int64 // refused admission (queue full or draining)
+
+	QueueDepth int // sessions waiting for a worker right now
+	Running    int // sessions executing right now
+}
+
+// Scheduler runs sessions over a bounded worker pool with admission
+// control. All methods are safe for concurrent use.
+type Scheduler struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string
+	nextID   int64
+	draining bool
+
+	queue chan *Session
+	wg    sync.WaitGroup
+
+	submitted, started, completed atomic.Int64
+	failed, canceled, rejected    atomic.Int64
+	running                       atomic.Int64
+}
+
+// New starts a scheduler with opts.MaxConcurrent workers. Call Drain to
+// shut it down.
+func New(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		opts:     opts,
+		sessions: make(map[string]*Session),
+		queue:    make(chan *Session, opts.QueueDepth),
+	}
+	for i := 0; i < opts.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for sess := range s.queue {
+				s.execute(sess)
+			}
+		}()
+	}
+	return s
+}
+
+// Options returns the resolved configuration (defaults filled in).
+func (s *Scheduler) Options() Options { return s.opts }
+
+// Submit admits a session. It never blocks: when the queue is full it
+// returns ErrQueueFull (back off by Options.RetryAfter and retry), and
+// after Drain has begun it returns ErrDraining.
+func (s *Scheduler) Submit(run RunFunc) (*Session, error) {
+	if run == nil {
+		return nil, errors.New("serve: nil run function")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &Session{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		run:       run,
+		ctx:       ctx,
+		cancel:    cancel,
+		status:    Queued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- sess:
+	default:
+		s.nextID--
+		cancel()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.sessions[sess.id] = sess
+	s.order = append(s.order, sess.id)
+	s.submitted.Add(1)
+	return sess, nil
+}
+
+// execute runs one dequeued session on the calling worker.
+func (s *Scheduler) execute(sess *Session) {
+	// Canceled while still queued: release the slot without running.
+	if sess.ctx.Err() != nil {
+		s.canceled.Add(1)
+		sess.finish(Canceled, nil, context.Cause(sess.ctx))
+		return
+	}
+	sess.markRunning()
+	s.started.Add(1)
+	s.running.Add(1)
+	result, err := sess.run(sess.ctx, sess)
+	s.running.Add(-1)
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+		sess.finish(Done, result, nil)
+	case sess.ctx.Err() != nil:
+		// The session's own context was canceled; however the run
+		// surfaced it, the session ends Canceled, not Failed.
+		s.canceled.Add(1)
+		sess.finish(Canceled, nil, err)
+	default:
+		s.failed.Add(1)
+		sess.finish(Failed, nil, err)
+	}
+}
+
+// Session returns the session with the given id.
+func (s *Scheduler) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// Sessions lists every session in submission order.
+func (s *Scheduler) Sessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.sessions[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of the session with the given id and
+// reports whether the id was known. Queued sessions are discarded when a
+// worker reaches them; running sessions stop at their next cancellation
+// poll and release their worker slot.
+func (s *Scheduler) Cancel(id string) bool {
+	sess, ok := s.Session(id)
+	if !ok {
+		return false
+	}
+	sess.Cancel()
+	return true
+}
+
+// Drain stops admission (Submit returns ErrDraining) and waits for every
+// queued and running session to finish, or for ctx to expire. Drain is
+// idempotent; concurrent calls all wait for the same completion.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Counters snapshots the lifetime counters and live gauges.
+func (s *Scheduler) Counters() Counters {
+	return Counters{
+		Submitted:  s.submitted.Load(),
+		Started:    s.started.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Canceled:   s.canceled.Load(),
+		Rejected:   s.rejected.Load(),
+		QueueDepth: len(s.queue),
+		Running:    int(s.running.Load()),
+	}
+}
+
+// Session is one unit of admitted work. Its accessors are safe for
+// concurrent use with the executing worker.
+type Session struct {
+	id     string
+	run    RunFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	result   any
+	err      error
+	started  time.Time
+	finished time.Time
+
+	submitted time.Time
+	progress  atomic.Int64
+	done      chan struct{}
+}
+
+// ID is the scheduler-assigned identifier ("job-N").
+func (j *Session) ID() string { return j.id }
+
+// Status returns the current lifecycle state. A canceled-while-queued
+// session reports Canceled as soon as the request lands, even before a
+// worker discards it.
+func (j *Session) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == Queued && j.ctx.Err() != nil {
+		return Canceled
+	}
+	return j.status
+}
+
+// Progress returns the session's progress counter (for training sessions,
+// epochs completed).
+func (j *Session) Progress() int64 { return j.progress.Load() }
+
+// SetProgress records the session's progress counter.
+func (j *Session) SetProgress(n int64) { j.progress.Store(n) }
+
+// Cancel requests cancellation. Safe to call in any state; terminal
+// sessions are unaffected.
+func (j *Session) Cancel() { j.cancel() }
+
+// Done is closed when the session reaches a terminal state.
+func (j *Session) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the session is terminal or ctx expires, then returns
+// Result's values.
+func (j *Session) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the session's outcome: (result, nil) after Done,
+// (nil, error) after Failed or Canceled, and (nil, nil) while the session
+// is still queued or running.
+func (j *Session) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Times returns the submission, start and finish timestamps; zero values
+// mark stages not yet reached.
+func (j *Session) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+func (j *Session) markRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = Running
+	j.started = time.Now()
+}
+
+func (j *Session) finish(st Status, result any, err error) {
+	if st == Canceled && err == nil {
+		err = context.Canceled
+	}
+	j.mu.Lock()
+	j.status = st
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources in every terminal path
+	close(j.done)
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// blockingRun returns a RunFunc that signals on started, then blocks until
+// release is closed or the session is canceled.
+func blockingRun(started chan<- string, release <-chan struct{}) RunFunc {
+	return func(ctx context.Context, sess *Session) (any, error) {
+		if started != nil {
+			started <- sess.ID()
+		}
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func instantRun(result any) RunFunc {
+	return func(ctx context.Context, sess *Session) (any, error) { return result, nil }
+}
+
+func waitStatus(t *testing.T, sess *Session, want Status) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if sess.Status() == want {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("session %s stuck at %v, want %v", sess.ID(), sess.Status(), want)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, QueueDepth: 4})
+	defer s.Drain(context.Background())
+
+	sess, err := s.Submit(instantRun(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 42 {
+		t.Fatalf("result = %v, want 42", res)
+	}
+	if got := sess.Status(); got != Done {
+		t.Fatalf("status = %v, want done", got)
+	}
+	sub, start, fin := sess.Times()
+	if sub.IsZero() || start.IsZero() || fin.IsZero() {
+		t.Fatalf("timestamps not all set: %v %v %v", sub, start, fin)
+	}
+}
+
+func TestQueueFullRejectsWithTypedError(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 1, RetryAfter: 250 * time.Millisecond})
+	started := make(chan string, 8)
+	release := make(chan struct{})
+
+	// One running, one queued: the pool and queue are now full.
+	running, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(blockingRun(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Submit(instantRun(nil)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error = %v, want ErrQueueFull", err)
+	}
+	if got := s.Counters().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	if got := s.Options().RetryAfter; got != 250*time.Millisecond {
+		t.Fatalf("retry-after = %v, want 250ms", got)
+	}
+
+	close(release)
+	for _, sess := range []*Session{running, queued} {
+		if _, err := sess.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCancelRunningFreesSlotForQueued(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 4})
+	defer s.Drain(context.Background())
+	started := make(chan string, 8)
+	release := make(chan struct{})
+
+	first, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // first occupies the only worker slot
+	second, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Status(); got != Queued {
+		t.Fatalf("second status = %v, want queued", got)
+	}
+
+	// Canceling the running session must release the slot to the queued one.
+	if !s.Cancel(first.ID()) {
+		t.Fatal("Cancel(first) = false")
+	}
+	waitStatus(t, first, Canceled)
+	if got := <-started; got != second.ID() {
+		t.Fatalf("next started session = %s, want %s", got, second.ID())
+	}
+	close(release)
+	if _, err := second.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.Canceled != 1 || c.Completed != 1 {
+		t.Fatalf("counters = %+v, want 1 canceled / 1 completed", c)
+	}
+}
+
+func TestCancelQueuedSkipsExecution(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 4})
+	started := make(chan string, 8)
+	release := make(chan struct{})
+
+	running, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	if got := queued.Status(); got != Canceled {
+		t.Fatalf("status after queued cancel = %v, want canceled", got)
+	}
+
+	close(release)
+	if _, err := running.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := queued.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled session error = %v, want context.Canceled", err)
+	}
+	if got := s.Counters().Started; got != 1 {
+		t.Fatalf("started counter = %d, want 1 (canceled session must not run)", got)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainCompletesInFlightAndRejectsNew(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 4})
+	started := make(chan string, 8)
+	release := make(chan struct{})
+
+	running, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+
+	// Drain must reject new work immediately...
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, err := s.Submit(instantRun(nil)); errors.Is(err, ErrDraining) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Submit never returned ErrDraining")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// ...while a bounded-context Drain reports the still-running work.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded drain error = %v, want deadline exceeded", err)
+	}
+
+	// ...and still complete both in-flight sessions.
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatal(err)
+	}
+	for _, sess := range []*Session{running, queued} {
+		if got := sess.Status(); got != Done {
+			t.Fatalf("session %s status = %v, want done after drain", sess.ID(), got)
+		}
+	}
+}
+
+func TestFailedSessionCountsAsFailed(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 1})
+	defer s.Drain(context.Background())
+	boom := errors.New("boom")
+	sess, err := s.Submit(func(ctx context.Context, _ *Session) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if got := sess.Status(); got != Failed {
+		t.Fatalf("status = %v, want failed", got)
+	}
+	if c := s.Counters(); c.Failed != 1 {
+		t.Fatalf("failed counter = %d, want 1", c.Failed)
+	}
+}
+
+func TestProgressCounter(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 1})
+	defer s.Drain(context.Background())
+	sess, err := s.Submit(func(ctx context.Context, sess *Session) (any, error) {
+		for i := int64(1); i <= 3; i++ {
+			sess.SetProgress(i)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Progress(); got != 3 {
+		t.Fatalf("progress = %d, want 3", got)
+	}
+}
+
+func TestSessionsListedInSubmissionOrder(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 8})
+	defer s.Drain(context.Background())
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sess, err := s.Submit(instantRun(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sess.ID())
+		if _, err := sess.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	listed := s.Sessions()
+	if len(listed) != len(ids) {
+		t.Fatalf("listed %d sessions, want %d", len(listed), len(ids))
+	}
+	for i, sess := range listed {
+		if sess.ID() != ids[i] {
+			t.Fatalf("listed[%d] = %s, want %s", i, sess.ID(), ids[i])
+		}
+	}
+	if _, ok := s.Session(ids[1]); !ok {
+		t.Fatalf("Session(%s) not found", ids[1])
+	}
+	if _, ok := s.Session("job-999"); ok {
+		t.Fatal("Session(job-999) unexpectedly found")
+	}
+}

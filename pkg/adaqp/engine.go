@@ -1,6 +1,7 @@
 package adaqp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -90,8 +91,16 @@ func (s *Session) Deployment() *Deployment { return s.eng.deployment(&s.set) }
 
 // Run executes the session's training job and returns its measurements.
 func (s *Session) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancellation context: when ctx is canceled the
+// run stops at the next epoch boundary and returns ErrCanceled. A
+// non-cancellable context adds no per-epoch overhead and leaves results
+// bit-identical to Run.
+func (s *Session) RunContext(ctx context.Context) (*Result, error) {
 	dep := s.eng.deployment(&s.set)
-	return core.TrainDeployed(dep, s.set.cfg, s.set.model)
+	return core.TrainDeployedCtx(ctx, dep, s.set.cfg, s.set.model)
 }
 
 // Run is shorthand for Session(opts...).Run().
