@@ -1,18 +1,25 @@
 // Command benchdiff converts `go test -bench` output into the repo's
-// BENCH_N.json schema and gates CI on ns/op regressions against a
-// committed baseline.
+// BENCH_N.json schema and gates CI on regressions against a committed
+// baseline.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchtime=1x -benchmem | tee bench.txt
 //	go run ./cmd/benchdiff -input bench.txt -out BENCH_4.json \
-//	    -baseline BENCH_1.json -threshold 2.5
+//	    -baseline BENCH_1.json -threshold 2.5 \
+//	    -alloc-threshold 1.3 -bytes-threshold 2
 //
 // The tool exits non-zero when any benchmark present in both files slowed
-// down by more than the threshold factor, or when a baseline benchmark
+// down by more than the -threshold factor in ns/op, grew past the
+// -alloc-threshold factor in allocs/op or the -bytes-threshold factor in
+// B/op (0 disables either memory gate), or when a baseline benchmark
 // disappeared (pass -allow-missing to tolerate renames). Single-iteration
-// benchtime=1x timings are coarse, so the threshold guards the trajectory,
-// not the noise floor.
+// benchtime=1x timings are coarse, so the ns threshold guards the
+// trajectory, not the noise floor; allocation counts are near-
+// deterministic, so their thresholds can sit much tighter.
+//
+// -summary appends the comparison as a markdown table to the given file
+// (pass "$GITHUB_STEP_SUMMARY" in CI).
 package main
 
 import (
@@ -50,12 +57,15 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 
 func main() {
 	var (
-		input        = flag.String("input", "-", "benchmark text output to parse (- = stdin)")
-		out          = flag.String("out", "", "write the parsed results as BENCH_N.json to this path")
-		baseline     = flag.String("baseline", "", "baseline BENCH_N.json to compare against")
-		threshold    = flag.Float64("threshold", 2.5, "fail when new ns/op exceeds baseline by this factor")
-		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the new run")
-		note         = flag.String("note", "", "note field for the emitted JSON")
+		input          = flag.String("input", "-", "benchmark text output to parse (- = stdin)")
+		out            = flag.String("out", "", "write the parsed results as BENCH_N.json to this path")
+		baseline       = flag.String("baseline", "", "baseline BENCH_N.json to compare against")
+		threshold      = flag.Float64("threshold", 2.5, "fail when new ns/op exceeds baseline by this factor")
+		allocThreshold = flag.Float64("alloc-threshold", 0, "fail when new allocs/op exceeds baseline by this factor (0 disables)")
+		bytesThreshold = flag.Float64("bytes-threshold", 0, "fail when new B/op exceeds baseline by this factor (0 disables)")
+		summary        = flag.String("summary", "", "append the comparison as a markdown table to this file")
+		allowMissing   = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the new run")
+		note           = flag.String("note", "", "note field for the emitted JSON")
 	)
 	flag.Parse()
 
@@ -93,9 +103,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if failed := compare(base.Benchmarks, entries, *threshold, *allowMissing); failed {
+	gates := []gate{{"ns/op", func(e benchEntry) int64 { return e.NsPerOp }, *threshold}}
+	if *allocThreshold > 0 {
+		gates = append(gates, gate{"allocs/op", func(e benchEntry) int64 { return e.AllocsPerOp }, *allocThreshold})
+	}
+	if *bytesThreshold > 0 {
+		gates = append(gates, gate{"B/op", func(e benchEntry) int64 { return e.BytesPerOp }, *bytesThreshold})
+	}
+	failed := compare(base.Benchmarks, entries, gates, *allowMissing)
+	if *summary != "" {
+		if err := writeSummary(*summary, *baseline, base.Benchmarks, entries, gates); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// gate is one regression check: a metric extractor plus the factor past
+// which CI fails.
+type gate struct {
+	metric    string
+	get       func(benchEntry) int64
+	threshold float64
+}
+
+// ratio returns cur/base, treating a zero baseline as no regression
+// (a metric that was zero and grew is flagged as +Inf only when the
+// threshold is enabled and cur is nonzero).
+func (g gate) ratio(b, c benchEntry) float64 {
+	bv, cv := g.get(b), g.get(c)
+	if bv == 0 {
+		if cv == 0 {
+			return 1
+		}
+		return float64(cv) // vs zero: treat the raw count as the factor
+	}
+	return float64(cv) / float64(bv)
 }
 
 func parseBench(path string) (map[string]benchEntry, error) {
@@ -146,30 +191,39 @@ func readBaseline(path string) (*benchFile, error) {
 	return &doc, nil
 }
 
-// compare prints a ratio table and returns true when the gate should fail.
-func compare(base, cur map[string]benchEntry, threshold float64, allowMissing bool) bool {
+// compare prints a ratio table covering every enabled gate and returns
+// true when any gate should fail.
+func compare(base, cur map[string]benchEntry, gates []gate, allowMissing bool) bool {
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var regressions, missing []string
-	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "baseline ns", "current ns", "ratio")
+	var missing []string
+	regressions := map[string][]string{} // metric -> benchmark names
+	fmt.Printf("%-44s %12s %12s %12s %12s %8s\n",
+		"benchmark", "base ns", "cur ns", "base allocs", "cur allocs", "worst")
 	for _, n := range names {
 		b := base[n]
 		c, ok := cur[n]
 		if !ok {
 			missing = append(missing, n)
-			fmt.Printf("%-44s %14d %14s %8s\n", n, b.NsPerOp, "MISSING", "-")
+			fmt.Printf("%-44s %12d %12s\n", n, b.NsPerOp, "MISSING")
 			continue
 		}
-		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
-		mark := ""
-		if ratio > threshold {
-			regressions = append(regressions, n)
-			mark = "  << REGRESSION"
+		mark, worst := "", 0.0
+		for _, g := range gates {
+			r := g.ratio(b, c)
+			if r > worst {
+				worst = r
+			}
+			if r > g.threshold {
+				regressions[g.metric] = append(regressions[g.metric], n)
+				mark = "  << REGRESSION (" + g.metric + ")"
+			}
 		}
-		fmt.Printf("%-44s %14d %14d %7.2fx%s\n", n, b.NsPerOp, c.NsPerOp, ratio, mark)
+		fmt.Printf("%-44s %12d %12d %12d %12d %7.2fx%s\n",
+			n, b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp, worst, mark)
 	}
 	var added []string
 	for n := range cur {
@@ -179,12 +233,15 @@ func compare(base, cur map[string]benchEntry, threshold float64, allowMissing bo
 	}
 	sort.Strings(added)
 	for _, n := range added {
-		fmt.Printf("%-44s %14s %14d %8s\n", n, "(new)", cur[n].NsPerOp, "-")
+		fmt.Printf("%-44s %12s %12d %12s %12d\n", n, "(new)", cur[n].NsPerOp, "-", cur[n].AllocsPerOp)
 	}
 	failed := false
-	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.2fx: %v\n", len(regressions), threshold, regressions)
-		failed = true
+	for _, g := range gates {
+		if rs := regressions[g.metric]; len(rs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.2fx %s: %v\n",
+				len(rs), g.threshold, g.metric, rs)
+			failed = true
+		}
 	}
 	if len(missing) > 0 {
 		if allowMissing {
@@ -195,6 +252,61 @@ func compare(base, cur map[string]benchEntry, threshold float64, allowMissing bo
 		}
 	}
 	return failed
+}
+
+// writeSummary appends a markdown comparison table (ns, B/op and
+// allocs/op deltas per benchmark) to path — in CI, the job's
+// $GITHUB_STEP_SUMMARY file.
+func writeSummary(path, baselineName string, base, cur map[string]benchEntry, gates []gate) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(f, "### Benchmark delta vs %s\n\n", baselineName)
+	fmt.Fprintln(f, "| benchmark | ns/op | B/op | allocs/op | status |")
+	fmt.Fprintln(f, "|---|---|---|---|---|")
+	cell := func(b, c int64) string {
+		if b == 0 {
+			return fmt.Sprintf("%d → %d", b, c)
+		}
+		return fmt.Sprintf("%d → %d (%.2fx)", b, c, float64(c)/float64(b))
+	}
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Fprintf(f, "| %s | — | — | — | missing |\n", n)
+			continue
+		}
+		status := "ok"
+		for _, g := range gates {
+			if g.ratio(b, c) > g.threshold {
+				status = "**regressed (" + g.metric + ")**"
+				break
+			}
+		}
+		fmt.Fprintf(f, "| %s | %s | %s | %s | %s |\n",
+			n, cell(b.NsPerOp, c.NsPerOp), cell(b.BytesPerOp, c.BytesPerOp), cell(b.AllocsPerOp, c.AllocsPerOp), status)
+	}
+	var added []string
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	for _, n := range added {
+		c := cur[n]
+		fmt.Fprintf(f, "| %s | %d | %d | %d | new |\n", n, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+	}
+	fmt.Fprintln(f)
+	return nil
 }
 
 func fatal(err error) {

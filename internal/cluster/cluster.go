@@ -107,6 +107,25 @@ type Device struct {
 	c    *Cluster
 	rank int
 	RNG  *tensor.RNG
+
+	// sizes is reusable accounting scratch for RingAll2All (every entry is
+	// rewritten per call). The received containers themselves are always
+	// freshly allocated: callers are allowed to retain them.
+	sizes [][]int
+	// sums is reusable reduction scratch for AllReduceSum, private to this
+	// device between barriers.
+	sums []*tensor.Matrix
+}
+
+// sizesScratch returns the n×n RingAll2All size table, reused across calls.
+func (d *Device) sizesScratch(n int) [][]int {
+	if len(d.sizes) != n {
+		d.sizes = make([][]int, n)
+		for i := range d.sizes {
+			d.sizes[i] = make([]int, n)
+		}
+	}
+	return d.sizes
 }
 
 // Rank returns this device's id in [0, Size).
@@ -192,12 +211,13 @@ func (d *Device) RingAll2All(payloads [][]byte) [][]byte {
 		}
 	}
 	c.barrier.wait()
-	sizes := make([][]int, n)
+	sizes := d.sizesScratch(n)
 	for src := 0; src < n; src++ {
-		sizes[src] = make([]int, n)
 		for dst := 0; dst < n; dst++ {
 			if dst != src {
 				sizes[src][dst] = len(c.exchange[src][dst])
+			} else {
+				sizes[src][dst] = 0
 			}
 		}
 	}
@@ -271,10 +291,17 @@ func (d *Device) AllReduceSum(ms []*tensor.Matrix) {
 	d.Barrier()
 	c.mats[d.rank] = ms
 	c.barrier.wait()
-	// Deterministic reduction: every device sums rank-ordered copies.
-	sums := make([]*tensor.Matrix, len(ms))
+	// Deterministic reduction: every device sums rank-ordered copies into
+	// its private, reusable scratch.
+	if len(d.sums) != len(ms) {
+		d.sums = make([]*tensor.Matrix, len(ms))
+	}
+	sums := d.sums
 	for i := range ms {
-		sums[i] = c.mats[0][i].Clone()
+		if sums[i] == nil || !sums[i].SameShape(c.mats[0][i]) {
+			sums[i] = tensor.New(c.mats[0][i].Rows, c.mats[0][i].Cols)
+		}
+		sums[i].CopyFrom(c.mats[0][i])
 		for r := 1; r < c.n; r++ {
 			sums[i].AddInPlace(c.mats[r][i])
 		}

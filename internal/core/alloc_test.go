@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// TestCodecSteadyStateAllocs pins the zero-allocation contract of the
+// warmed encode/decode hot paths: with an arena whose freelists already
+// hold the needed buffer and matrix classes (the state every epoch after
+// the first runs in), a full encode → decode round trip must not allocate.
+// The race detector instruments the allocator, so the exact assertions
+// only run in normal builds; the bodies still execute under -race.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	const rows, dim = 12, 32
+	x := tensor.New(rows, dim)
+	rng := tensor.NewRNG(3)
+	x.FillUniform(rng, -1, 1)
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	check := func(name string, avg float64) {
+		if avg != 0 && !raceEnabled {
+			t.Errorf("%s allocates %.1f times per run, want 0", name, avg)
+		}
+	}
+
+	t.Run("fp32-rows", func(t *testing.T) {
+		a := NewArena()
+		dst := tensor.New(rows, dim)
+		warm := func() {
+			buf := appendAllRows(a.GetBuf(4*rows*dim), x)
+			if err := bytesToAllRows(buf, dst); err != nil {
+				t.Fatal(err)
+			}
+			a.PutBuf(buf)
+		}
+		warm()
+		check("fp32 row round trip", testing.AllocsPerRun(20, warm))
+	})
+
+	t.Run("ef-quant", func(t *testing.T) {
+		a := NewArena()
+		c := &efQuantCodec{bits: quant.B4}
+		resid := tensor.New(rows, dim)
+		dst := tensor.New(rows, dim)
+		warm := func() {
+			buf, err := c.encodeEF(a, x, idx, resid, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := quant.DequantizeRows(buf, dst, nil, rows, c.bits); err != nil {
+				t.Fatal(err)
+			}
+			a.PutBuf(buf)
+		}
+		warm()
+		check("ef-quant round trip", testing.AllocsPerRun(20, warm))
+	})
+
+	t.Run("delta-residual", func(t *testing.T) {
+		a := NewArena()
+		var sendPrev, recvPrev *tensor.Matrix
+		// Keyframe epoch establishes both references (and allocates them —
+		// that is the documented cold path).
+		kf, err := encodeDelta(a, x, idx, &sendPrev, true, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeDelta(a, kf, rows, dim, &recvPrev, true); err != nil {
+			t.Fatal(err)
+		}
+		a.PutBuf(kf)
+		warm := func() {
+			buf, err := encodeDelta(a, x, idx, &sendPrev, false, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := decodeDelta(a, buf, rows, dim, &recvPrev, false); err != nil {
+				t.Fatal(err)
+			}
+			a.PutBuf(buf)
+		}
+		warm()
+		check("delta residual round trip", testing.AllocsPerRun(20, warm))
+	})
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sync"
 
@@ -103,7 +101,7 @@ func (st *assignState) traceBackward(l int, dxFull *tensor.Matrix) {
 	}
 }
 
-// Wire messages (gob).
+// Wire messages (binary format in assigner_wire.go).
 
 type traceMsg struct {
 	Rank int
@@ -118,18 +116,6 @@ type widthMsg struct {
 	// FwdSend[l][dst][j], FwdRecv[l][src][j], BwdSend[l][dst][j],
 	// BwdRecv[l][src][j].
 	FwdSend, FwdRecv, BwdSend, BwdRecv [][][]quant.BitWidth
-}
-
-func encodeGob(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		panic(fmt.Sprintf("core: gob encode: %v", err))
-	}
-	return buf.Bytes()
-}
-
-func decodeGob(b []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
 }
 
 // runAssignment executes the 4-step protocol. Every device must call it;
@@ -148,14 +134,14 @@ func runAssignment(dev Transport, cfg *Config, st *assignState) error {
 		}
 		report.RecvAlpha[p] = as
 	}
-	gathered := dev.GatherBytes(0, encodeGob(&report))
+	gathered := dev.GatherBytes(0, encodeTrace(&report))
 
 	var scattered [][]byte
 	if dev.Rank() == 0 {
 		reports := make([]*traceMsg, n)
 		for r, b := range gathered {
 			var m traceMsg
-			if err := decodeGob(b, &m); err != nil {
+			if err := decodeTrace(b, &m); err != nil {
 				return fmt.Errorf("core: decoding trace from rank %d: %w", r, err)
 			}
 			reports[r] = &m
@@ -164,12 +150,12 @@ func runAssignment(dev Transport, cfg *Config, st *assignState) error {
 		dev.Clock().Advance(timing.Assign, solveCost)
 		scattered = make([][]byte, n)
 		for r := range msgs {
-			scattered[r] = encodeGob(msgs[r])
+			scattered[r] = encodeWidths(msgs[r])
 		}
 	}
 	mine := dev.ScatterBytes(0, scattered)
 	var wm widthMsg
-	if err := decodeGob(mine, &wm); err != nil {
+	if err := decodeWidths(mine, &wm); err != nil {
 		return fmt.Errorf("core: rank %d decoding widths: %w", dev.Rank(), err)
 	}
 	for l := 0; l < st.layers; l++ {

@@ -132,7 +132,7 @@ func TestInstallUniformWidths(t *testing.T) {
 	}
 }
 
-func TestGobRoundTrip(t *testing.T) {
+func TestAssignWireRoundTrip(t *testing.T) {
 	in := traceMsg{
 		Rank:      2,
 		RecvAlpha: [][]float64{{1, 2}, nil},
@@ -140,11 +140,43 @@ func TestGobRoundTrip(t *testing.T) {
 		Bwd:       [][][]float64{{nil, {3}}},
 	}
 	var out traceMsg
-	if err := decodeGob(encodeGob(&in), &out); err != nil {
+	if err := decodeTrace(encodeTrace(&in), &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Rank != 2 || out.Fwd[0][1][1] != 2.5 || out.Bwd[0][1][0] != 3 {
-		t.Fatalf("gob round trip mangled: %+v", out)
+		t.Fatalf("trace round trip mangled: %+v", out)
+	}
+
+	win := widthMsg{
+		FwdSend: [][][]quant.BitWidth{{{quant.B2, quant.B8}, nil}},
+		FwdRecv: [][][]quant.BitWidth{{nil, {quant.B4}}},
+		BwdSend: [][][]quant.BitWidth{},
+		BwdRecv: [][][]quant.BitWidth{{{quant.B8}}},
+	}
+	enc := encodeWidths(&win)
+	var wout widthMsg
+	if err := decodeWidths(enc, &wout); err != nil {
+		t.Fatal(err)
+	}
+	if wout.FwdSend[0][0][0] != quant.B2 || wout.FwdSend[0][0][1] != quant.B8 ||
+		wout.FwdRecv[0][1][0] != quant.B4 || wout.BwdRecv[0][0][0] != quant.B8 {
+		t.Fatalf("width round trip mangled: %+v", wout)
+	}
+
+	// Truncated payloads must error, never panic or over-allocate: the
+	// length prefixes are validated against the remaining bytes.
+	tr := encodeTrace(&in)
+	for _, cut := range []int{0, 1, 5, len(tr) / 2, len(tr) - 1} {
+		var m traceMsg
+		if err := decodeTrace(tr[:cut], &m); err == nil {
+			t.Errorf("trace truncated at %d decoded without error", cut)
+		}
+	}
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		var m widthMsg
+		if err := decodeWidths(enc[:cut], &m); err == nil {
+			t.Errorf("widths truncated at %d decoded without error", cut)
+		}
 	}
 }
 

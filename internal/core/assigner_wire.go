@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/quant"
+)
+
+// Hand-rolled wire format for the assignment sideband (traceMsg up to the
+// master, widthMsg back). It replaced encoding/gob: the reflection-driven
+// decoder allocated thousands of objects per assignment round, dwarfing
+// the training loop's entire allocation budget. The format is explicit
+// little-endian length-prefixed nesting:
+//
+//	f64 slice:   [u32 len] len × float64
+//	f64 grid:    [u32 len] len × f64 slice
+//	f64 cube:    [u32 len] len × f64 grid
+//	width slice: [u32 len] len × 1 byte
+//	traceMsg:    [u32 rank] RecvAlpha grid · Fwd cube · Bwd cube
+//	widthMsg:    FwdSend · FwdRecv · BwdSend · BwdRecv width cubes
+//
+// Decoders validate every length against the remaining bytes, so a
+// corrupted stream errors instead of panicking or over-allocating.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendF64Slice(b []byte, xs []float64) []byte {
+	b = appendU32(b, uint32(len(xs)))
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func appendF64Grid(b []byte, g [][]float64) []byte {
+	b = appendU32(b, uint32(len(g)))
+	for _, s := range g {
+		b = appendF64Slice(b, s)
+	}
+	return b
+}
+
+func appendF64Cube(b []byte, c [][][]float64) []byte {
+	b = appendU32(b, uint32(len(c)))
+	for _, g := range c {
+		b = appendF64Grid(b, g)
+	}
+	return b
+}
+
+func appendWidthSlice(b []byte, ws []quant.BitWidth) []byte {
+	b = appendU32(b, uint32(len(ws)))
+	for _, w := range ws {
+		b = append(b, byte(w))
+	}
+	return b
+}
+
+func appendWidthCube(b []byte, c [][][]quant.BitWidth) []byte {
+	b = appendU32(b, uint32(len(c)))
+	for _, g := range c {
+		b = appendU32(b, uint32(len(g)))
+		for _, ws := range g {
+			b = appendWidthSlice(b, ws)
+		}
+	}
+	return b
+}
+
+// wireReader is a latching-error cursor over one assignment payload.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: assignment payload truncated at %s (offset %d of %d)", what, r.off, len(r.b))
+	}
+}
+
+// length reads a u32 count, validating that count×elemSize bytes remain.
+func (r *wireReader) length(elemSize int, what string) int {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	n := int(binary.LittleEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	if n < 0 || n*elemSize > len(r.b)-r.off {
+		r.fail(what)
+		return 0
+	}
+	return n
+}
+
+func (r *wireReader) f64Slice(what string) []float64 {
+	n := r.length(8, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out
+}
+
+func (r *wireReader) f64Grid(what string) [][]float64 {
+	n := r.length(4, what)
+	if r.err != nil {
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = r.f64Slice(what)
+	}
+	return out
+}
+
+func (r *wireReader) f64Cube(what string) [][][]float64 {
+	n := r.length(4, what)
+	if r.err != nil {
+		return nil
+	}
+	out := make([][][]float64, n)
+	for i := range out {
+		out[i] = r.f64Grid(what)
+	}
+	return out
+}
+
+func (r *wireReader) widthSlice(what string) []quant.BitWidth {
+	n := r.length(1, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]quant.BitWidth, n)
+	for i := range out {
+		out[i] = quant.BitWidth(r.b[r.off])
+		r.off++
+	}
+	return out
+}
+
+func (r *wireReader) widthCube(what string) [][][]quant.BitWidth {
+	n := r.length(4, what)
+	if r.err != nil {
+		return nil
+	}
+	out := make([][][]quant.BitWidth, n)
+	for i := range out {
+		m := r.length(4, what)
+		if r.err != nil {
+			return nil
+		}
+		g := make([][]quant.BitWidth, m)
+		for j := range g {
+			g[j] = r.widthSlice(what)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func encodeTrace(m *traceMsg) []byte {
+	b := appendU32(nil, uint32(m.Rank))
+	b = appendF64Grid(b, m.RecvAlpha)
+	b = appendF64Cube(b, m.Fwd)
+	return appendF64Cube(b, m.Bwd)
+}
+
+func decodeTrace(b []byte, m *traceMsg) error {
+	r := &wireReader{b: b}
+	if r.off+4 > len(r.b) {
+		r.fail("rank")
+	} else {
+		m.Rank = int(binary.LittleEndian.Uint32(r.b))
+		r.off = 4
+	}
+	m.RecvAlpha = r.f64Grid("RecvAlpha")
+	m.Fwd = r.f64Cube("Fwd")
+	m.Bwd = r.f64Cube("Bwd")
+	return r.err
+}
+
+func encodeWidths(m *widthMsg) []byte {
+	b := appendWidthCube(nil, m.FwdSend)
+	b = appendWidthCube(b, m.FwdRecv)
+	b = appendWidthCube(b, m.BwdSend)
+	return appendWidthCube(b, m.BwdRecv)
+}
+
+func decodeWidths(b []byte, m *widthMsg) error {
+	r := &wireReader{b: b}
+	m.FwdSend = r.widthCube("FwdSend")
+	m.FwdRecv = r.widthCube("FwdRecv")
+	m.BwdSend = r.widthCube("BwdSend")
+	m.BwdRecv = r.widthCube("BwdRecv")
+	return r.err
+}

@@ -61,8 +61,29 @@ type ExchangeEnv struct {
 	Graph *partition.LocalGraph
 	// Cfg is the run configuration (shared, read-only).
 	Cfg *Config
+	// Scratch is this device's hot-loop allocator (see Arena). May be nil,
+	// in which case every Arena method degrades to plain allocation.
+	Scratch *Arena
 
 	costs []layerCosts
+	halo  [][]int32 // lazily-built haloIdx cache, one list per peer
+}
+
+// HaloIdx returns the xFull row indices of the halo slots received from
+// device p (wire order RecvFrom[p], shifted past the local block). The
+// list is built once per peer and cached on the env.
+func (e *ExchangeEnv) HaloIdx(p int) []int32 {
+	if e.halo == nil {
+		e.halo = make([][]int32, e.Graph.Parts)
+	}
+	if e.halo[p] == nil {
+		idx := make([]int32, len(e.Graph.RecvFrom[p]))
+		for i, s := range e.Graph.RecvFrom[p] {
+			idx[i] = s + int32(e.Graph.NumLocal)
+		}
+		e.halo[p] = idx
+	}
+	return e.halo[p]
 }
 
 // ForwardCosts returns layer l's forward-stage compute costs.

@@ -240,11 +240,11 @@ func TestDeltaWireRoundTrip(t *testing.T) {
 	idx := []int32{0, 2, 3}
 
 	var sendPrev, recvPrev *tensor.Matrix
-	key, err := encodeDelta(x, idx, &sendPrev, true, rng)
+	key, err := encodeDelta(nil, x, idx, &sendPrev, true, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := decodeDelta(key, len(idx), x.Cols, &recvPrev, true)
+	rec, err := decodeDelta(nil, key, len(idx), x.Cols, &recvPrev, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,11 +260,11 @@ func TestDeltaWireRoundTrip(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] += 0.01 * float32(i%7)
 	}
-	delta, err := encodeDelta(x, idx, &sendPrev, false, rng)
+	delta, err := encodeDelta(nil, x, idx, &sendPrev, false, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err = decodeDelta(delta, len(idx), x.Cols, &recvPrev, false)
+	rec, err = decodeDelta(nil, delta, len(idx), x.Cols, &recvPrev, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,27 +290,27 @@ func TestDeltaWireRoundTrip(t *testing.T) {
 	}
 
 	// Tag and phase mismatches must error, not panic.
-	if _, err := decodeDelta(delta, len(idx), x.Cols, &recvPrev, true); err == nil {
+	if _, err := decodeDelta(nil, delta, len(idx), x.Cols, &recvPrev, true); err == nil {
 		t.Error("residual payload accepted on a keyframe epoch")
 	}
-	if _, err := decodeDelta(key, len(idx), x.Cols, &recvPrev, false); err == nil {
+	if _, err := decodeDelta(nil, key, len(idx), x.Cols, &recvPrev, false); err == nil {
 		t.Error("keyframe payload accepted on a residual epoch")
 	}
 	var nilPrev *tensor.Matrix
-	if _, err := decodeDelta(delta, len(idx), x.Cols, &nilPrev, false); err == nil {
+	if _, err := decodeDelta(nil, delta, len(idx), x.Cols, &nilPrev, false); err == nil {
 		t.Error("residual without a keyframe reference decoded without error")
 	}
-	if _, err := decodeDelta(nil, len(idx), x.Cols, &recvPrev, false); err == nil {
+	if _, err := decodeDelta(nil, nil, len(idx), x.Cols, &recvPrev, false); err == nil {
 		t.Error("empty stream decoded without error")
 	}
 
 	// Zero-length row sets round-trip as tag-only streams.
 	var ep, rp *tensor.Matrix
-	kf, err := encodeDelta(x, nil, &ep, true, rng)
+	kf, err := encodeDelta(nil, x, nil, &ep, true, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := decodeDelta(kf, 0, x.Cols, &rp, true); err != nil {
+	if _, err := decodeDelta(nil, kf, 0, x.Cols, &rp, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -352,7 +352,7 @@ func TestEFQuantResidualTelescopes(t *testing.T) {
 	sumTrue := tensor.New(rows, 4)
 	sumSent := tensor.New(rows, 4)
 	for epoch := 0; epoch < 8; epoch++ {
-		stream, err := ef.encodeEF(x, lg.SendTo[dst], resid, rng)
+		stream, err := ef.encodeEF(nil, x, lg.SendTo[dst], resid, rng)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,7 +16,7 @@ func newFP32Codec(*CodecEnv) (MessageCodec, error) { return fp32Codec{}, nil }
 func (fp32Codec) Name() string { return CodecFP32 }
 
 func (fp32Codec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
-	if err := exchangeHaloFP(env.Dev, env.Graph, h, xFull, false); err != nil {
+	if err := exchangeHaloFP(env, h, xFull, false); err != nil {
 		return err
 	}
 	env.Dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
@@ -25,7 +25,7 @@ func (fp32Codec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix
 
 func (fp32Codec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *tensor.Matrix) error {
 	env.Dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
-	return exchangeGradFP(env.Dev, env.Graph, dxFull, dxLocal)
+	return exchangeGradFP(env, dxFull, dxLocal)
 }
 
 func (fp32Codec) EpochEnd(*ExchangeEnv, int) error { return nil }
@@ -45,7 +45,7 @@ type quantState struct {
 }
 
 func (q *quantState) forwardQ(env *ExchangeEnv, l int, h, xFull *tensor.Matrix) error {
-	commDelta, err := exchangeHaloQ(env.Dev, env.Graph, q.st.fwdW[l], h, xFull)
+	commDelta, err := exchangeHaloQ(env, q.st.fwdW[l], h, xFull)
 	if err != nil {
 		return err
 	}
@@ -59,7 +59,7 @@ func (q *quantState) forwardQ(env *ExchangeEnv, l int, h, xFull *tensor.Matrix) 
 func (q *quantState) forwardFP(env *ExchangeEnv, l int, h, xFull *tensor.Matrix) error {
 	clock := env.Dev.Clock()
 	before := clock.Spent(timing.Comm)
-	if err := exchangeHaloFP(env.Dev, env.Graph, h, xFull, false); err != nil {
+	if err := exchangeHaloFP(env, h, xFull, false); err != nil {
 		return err
 	}
 	commDelta := clock.Spent(timing.Comm) - before
@@ -72,7 +72,7 @@ func (q *quantState) backwardQ(env *ExchangeEnv, l int, dxFull, dxLocal *tensor.
 	clock := env.Dev.Clock()
 	bc := env.BackwardCosts(l)
 	clock.Advance(timing.Comp, bc.Marginal)
-	commDelta, err := exchangeGradQ(env.Dev, env.Graph, q.st.bwdW[l], dxFull, dxLocal)
+	commDelta, err := exchangeGradQ(env, q.st.bwdW[l], dxFull, dxLocal)
 	if err != nil {
 		return err
 	}
@@ -87,7 +87,7 @@ func (q *quantState) backwardFP(env *ExchangeEnv, l int, dxFull, dxLocal *tensor
 	bc := env.BackwardCosts(l)
 	clock.Advance(timing.Comp, bc.Marginal)
 	before := clock.Spent(timing.Comm)
-	if err := exchangeGradFP(env.Dev, env.Graph, dxFull, dxLocal); err != nil {
+	if err := exchangeGradFP(env, dxFull, dxLocal); err != nil {
 		return err
 	}
 	commDelta := clock.Spent(timing.Comm) - before
@@ -282,7 +282,7 @@ func (c *pipegcnCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 	lg, clock := env.Graph, env.Dev.Clock()
 	fc := env.ForwardCosts(l)
 	if epoch == 0 {
-		if err := exchangeHaloFP(env.Dev, lg, h, xFull, false); err != nil {
+		if err := exchangeHaloFP(env, h, xFull, false); err != nil {
 			return err
 		}
 		clock.Advance(timing.Comp, fc.Total)
@@ -295,13 +295,19 @@ func (c *pipegcnCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 	for i := 0; i < lg.NumHalo; i++ {
 		copy(xFull.Row(lg.NumLocal+i), stale.Row(i))
 	}
-	fresh := tensor.New(xFull.Rows, xFull.Cols)
+	// Receive the fresh halo into arena scratch (only its halo rows are
+	// written and read), then double-buffer: the now-dead stale block
+	// becomes next epoch's cache.
+	fresh := env.Scratch.GetMat(xFull.Rows, xFull.Cols)
 	before := clock.Spent(timing.Comm)
-	if err := exchangeHaloFP(env.Dev, lg, h, fresh, false); err != nil {
+	if err := exchangeHaloFP(env, h, fresh, false); err != nil {
 		return err
 	}
 	commDelta := clock.Spent(timing.Comm) - before
-	c.pipeHalo[l] = fresh.RowSlice(lg.NumLocal, fresh.Rows)
+	for i := 0; i < lg.NumHalo; i++ {
+		copy(stale.Row(i), fresh.Row(lg.NumLocal+i))
+	}
+	env.Scratch.PutMat(fresh)
 	if fc.Total > commDelta {
 		clock.Advance(timing.Comp, fc.Total-commDelta)
 	}
@@ -314,7 +320,7 @@ func (c *pipegcnCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 	if epoch == 0 {
 		clock.Advance(timing.Comp, bc.Total)
 		remote := tensor.New(lg.NumLocal, dxLocal.Cols)
-		if err := exchangeGradFP(env.Dev, lg, dxFull, remote); err != nil {
+		if err := exchangeGradFP(env, dxFull, remote); err != nil {
 			return err
 		}
 		dxLocal.AddInPlace(remote)
@@ -322,15 +328,16 @@ func (c *pipegcnCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 		return nil
 	}
 	// Apply last epoch's remote gradients; ship fresh ones overlapped with
-	// computation.
+	// computation. After the add the old block is dead, so re-zero it
+	// (exchangeGradFP scatter-adds) and receive in place — no new matrix.
 	dxLocal.AddInPlace(c.pipeGrad[l])
-	remote := tensor.New(lg.NumLocal, dxLocal.Cols)
+	remote := c.pipeGrad[l]
+	remote.Zero()
 	before := clock.Spent(timing.Comm)
-	if err := exchangeGradFP(env.Dev, lg, dxFull, remote); err != nil {
+	if err := exchangeGradFP(env, dxFull, remote); err != nil {
 		return err
 	}
 	commDelta := clock.Spent(timing.Comm) - before
-	c.pipeGrad[l] = remote
 	if bc.Total > commDelta {
 		clock.Advance(timing.Comp, bc.Total-commDelta)
 	}

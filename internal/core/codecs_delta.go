@@ -40,28 +40,39 @@ func deltaKeyframe(cfg *Config, epoch int) bool {
 
 // encodeDelta serializes rows idx of x against *prev, advancing *prev to
 // the receiver-visible reconstruction. On keyframe epochs the raw rows
-// are shipped and become the new reference.
-func encodeDelta(x *tensor.Matrix, idx []int32, prev **tensor.Matrix, key bool, rng *tensor.RNG) ([]byte, error) {
-	cur := x.GatherRows(int32sToInts(idx))
+// are shipped and become the new reference. a may be nil (plain
+// allocation); the returned payload comes from a and passes to the
+// transport.
+func encodeDelta(a *Arena, x *tensor.Matrix, idx []int32, prev **tensor.Matrix, key bool, rng *tensor.RNG) ([]byte, error) {
 	if key {
+		// Reuse the retired reference in place when the shape matches
+		// (it is fully overwritten); it was never pooled, so no one else
+		// can hold it.
+		cur := *prev
+		if cur == nil || cur.Rows != len(idx) || cur.Cols != x.Cols {
+			cur = tensor.New(len(idx), x.Cols)
+		}
+		gatherRowsInto(cur, x, idx)
 		*prev = cur
-		out := make([]byte, 1, 1+4*len(cur.Data))
-		out[0] = deltaTagKeyframe
-		return append(out, rowsToBytes(cur, allRows(cur.Rows))...), nil
+		out := append(a.GetBuf(1+4*len(cur.Data)), deltaTagKeyframe)
+		return appendAllRows(out, cur), nil
 	}
-	if *prev == nil || !(*prev).SameShape(cur) {
+	d := a.GetMat(len(idx), x.Cols)
+	gatherRowsInto(d, x, idx)
+	if *prev == nil || !(*prev).SameShape(d) {
 		return nil, fmt.Errorf("core: delta codec has no keyframe reference for a residual epoch")
 	}
-	d := tensor.Sub(cur, *prev)
-	stream := quant.QuantizeRows(d, nil, deltaBits, rng)
-	recon := tensor.New(d.Rows, d.Cols)
-	if err := quant.DequantizeRows(stream, recon, nil, recon.Rows, deltaBits); err != nil {
+	d.SubInPlace(*prev)
+	out := append(a.GetBuf(1+quant.WireSize(d.Rows, d.Cols, deltaBits)), deltaTagDelta)
+	out = quant.AppendQuantizedRows(out, d, nil, deltaBits, rng)
+	recon := a.GetMat(d.Rows, d.Cols)
+	if err := quant.DequantizeRows(out[1:], recon, nil, recon.Rows, deltaBits); err != nil {
 		return nil, err
 	}
 	(*prev).AddInPlace(recon)
-	out := make([]byte, 1, 1+len(stream))
-	out[0] = deltaTagDelta
-	return append(out, stream...), nil
+	a.PutMat(recon)
+	a.PutMat(d)
+	return out, nil
 }
 
 // decodeDelta decodes one encodeDelta payload carrying rows×dim values,
@@ -69,7 +80,7 @@ func encodeDelta(x *tensor.Matrix, idx []int32, prev **tensor.Matrix, key bool, 
 // the tag (against the epoch-derived expectation), the stream length and
 // the reference state, so corrupted wire bytes error instead of
 // panicking.
-func decodeDelta(buf []byte, rows, dim int, prev **tensor.Matrix, key bool) (*tensor.Matrix, error) {
+func decodeDelta(a *Arena, buf []byte, rows, dim int, prev **tensor.Matrix, key bool) (*tensor.Matrix, error) {
 	if len(buf) < 1 {
 		return nil, fmt.Errorf("core: delta stream is empty (missing tag byte)")
 	}
@@ -79,8 +90,13 @@ func decodeDelta(buf []byte, rows, dim int, prev **tensor.Matrix, key bool) (*te
 		if !key {
 			return nil, fmt.Errorf("core: delta keyframe payload on a residual epoch")
 		}
-		m := tensor.New(rows, dim)
-		if err := bytesToRows(body, m, allRows(rows), 0); err != nil {
+		// Reuse the retired reference when shapes match: bytesToAllRows
+		// validates the length before writing and overwrites every element.
+		m := *prev
+		if m == nil || m.Rows != rows || m.Cols != dim {
+			m = tensor.New(rows, dim)
+		}
+		if err := bytesToAllRows(body, m); err != nil {
 			return nil, err
 		}
 		*prev = m
@@ -92,11 +108,12 @@ func decodeDelta(buf []byte, rows, dim int, prev **tensor.Matrix, key bool) (*te
 		if *prev == nil || (*prev).Rows != rows || (*prev).Cols != dim {
 			return nil, fmt.Errorf("core: delta residual without a matching keyframe reference")
 		}
-		d := tensor.New(rows, dim)
+		d := a.GetMat(rows, dim)
 		if err := quant.DequantizeRows(body, d, nil, rows, deltaBits); err != nil {
 			return nil, err
 		}
 		(*prev).AddInPlace(d)
+		a.PutMat(d)
 		return *prev, nil
 	}
 	return nil, fmt.Errorf("core: unknown delta tag 0x%02x", tag)
@@ -141,12 +158,13 @@ func (c *deltaCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Ma
 		// sender's reference) every element shipped.
 		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(2*wireElems(lg.SendTo, h.Cols)))
 	}
-	payloads := make([][]byte, n)
+	a := env.Scratch
+	payloads := a.Payloads(n)
 	for q := 0; q < n; q++ {
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		buf, err := encodeDelta(h, lg.SendTo[q], &c.prevFwdSend[l][q], key, dev.Rand())
+		buf, err := encodeDelta(a, h, lg.SendTo[q], &c.prevFwdSend[l][q], key, dev.Rand())
 		if err != nil {
 			return err
 		}
@@ -157,7 +175,7 @@ func (c *deltaCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Ma
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		rec, err := decodeDelta(recv[p], len(lg.RecvFrom[p]), h.Cols, &c.prevFwdRecv[l][p], key)
+		rec, err := decodeDelta(a, recv[p], len(lg.RecvFrom[p]), h.Cols, &c.prevFwdRecv[l][p], key)
 		if err != nil {
 			return fmt.Errorf("delta: rank %d from %d: %w", dev.Rank(), p, err)
 		}
@@ -165,6 +183,7 @@ func (c *deltaCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Ma
 			copy(xFull.Row(lg.NumLocal+int(slot)), rec.Row(j))
 		}
 	}
+	a.ReleaseAll(recv)
 	if !key {
 		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(wireElems(lg.RecvFrom, xFull.Cols)))
 	}
@@ -180,12 +199,13 @@ func (c *deltaCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *t
 	if !key {
 		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(2*wireElems(lg.RecvFrom, dxFull.Cols)))
 	}
-	payloads := make([][]byte, n)
+	a := env.Scratch
+	payloads := a.Payloads(n)
 	for p := 0; p < n; p++ {
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		buf, err := encodeDelta(dxFull, haloIdx(lg, p), &c.prevBwdSend[l][p], key, dev.Rand())
+		buf, err := encodeDelta(a, dxFull, env.HaloIdx(p), &c.prevBwdSend[l][p], key, dev.Rand())
 		if err != nil {
 			return err
 		}
@@ -196,12 +216,13 @@ func (c *deltaCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *t
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		rec, err := decodeDelta(recv[q], len(lg.SendTo[q]), dxLocal.Cols, &c.prevBwdRecv[l][q], key)
+		rec, err := decodeDelta(a, recv[q], len(lg.SendTo[q]), dxLocal.Cols, &c.prevBwdRecv[l][q], key)
 		if err != nil {
 			return fmt.Errorf("delta: rank %d grads from %d: %w", dev.Rank(), q, err)
 		}
-		dxLocal.ScatterAddRows(int32sToInts(lg.SendTo[q]), rec)
+		scatterAddRows32(dxLocal, lg.SendTo[q], rec)
 	}
+	a.ReleaseAll(recv)
 	if !key {
 		dev.Clock().Advance(timing.Quant, dev.Model().QuantTime(wireElems(lg.SendTo, dxLocal.Cols)))
 	}

@@ -69,18 +69,24 @@ func (c *efQuantCodec) Stateful() bool { return true }
 
 // encodeEF quantizes rows idx of x plus the carried residual, then
 // updates the residual to the new quantization error (corrected minus
-// the receiver's reconstruction).
-func (c *efQuantCodec) encodeEF(x *tensor.Matrix, idx []int32, resid *tensor.Matrix, rng *tensor.RNG) ([]byte, error) {
-	corrected := x.GatherRows(int32sToInts(idx))
+// the receiver's reconstruction). The returned stream comes from the
+// arena; ownership passes to the transport.
+func (c *efQuantCodec) encodeEF(a *Arena, x *tensor.Matrix, idx []int32, resid *tensor.Matrix, rng *tensor.RNG) ([]byte, error) {
+	corrected := a.GetMat(len(idx), x.Cols)
+	gatherRowsInto(corrected, x, idx)
 	corrected.AddInPlace(resid)
-	stream := quant.QuantizeRows(corrected, nil, c.bits, rng)
-	recon := tensor.New(corrected.Rows, corrected.Cols)
+	stream := quant.AppendQuantizedRows(
+		a.GetBuf(quant.WireSize(corrected.Rows, corrected.Cols, c.bits)),
+		corrected, nil, c.bits, rng)
+	recon := a.GetMat(corrected.Rows, corrected.Cols)
 	if err := quant.DequantizeRows(stream, recon, nil, recon.Rows, c.bits); err != nil {
 		return nil, err
 	}
 	for i := range resid.Data {
 		resid.Data[i] = corrected.Data[i] - recon.Data[i]
 	}
+	a.PutMat(recon)
+	a.PutMat(corrected)
 	return stream, nil
 }
 
@@ -91,12 +97,13 @@ func (c *efQuantCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 	// Send-side kernels run twice over every element: quantize, then the
 	// error-feedback self-dequantization that measures the residual.
 	dev.Clock().Advance(timing.Quant, model.QuantTime(2*wireElems(lg.SendTo, h.Cols)))
-	payloads := make([][]byte, n)
+	a := env.Scratch
+	payloads := a.Payloads(n)
 	for q := 0; q < n; q++ {
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		buf, err := c.encodeEF(h, lg.SendTo[q], c.fwdResid[l][q], dev.Rand())
+		buf, err := c.encodeEF(a, h, lg.SendTo[q], c.fwdResid[l][q], dev.Rand())
 		if err != nil {
 			return err
 		}
@@ -107,11 +114,12 @@ func (c *efQuantCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		idx := haloIdx(lg, p)
+		idx := env.HaloIdx(p)
 		if err := quant.DequantizeRows(recv[p], xFull, idx, len(idx), c.bits); err != nil {
 			return fmt.Errorf("ef-quant: rank %d from %d: %w", dev.Rank(), p, err)
 		}
 	}
+	a.ReleaseAll(recv)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.RecvFrom, xFull.Cols)))
 	dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
 	return nil
@@ -123,12 +131,13 @@ func (c *efQuantCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 	model := dev.Model()
 	dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(2*wireElems(lg.RecvFrom, dxFull.Cols)))
-	payloads := make([][]byte, n)
+	a := env.Scratch
+	payloads := a.Payloads(n)
 	for p := 0; p < n; p++ {
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		buf, err := c.encodeEF(dxFull, haloIdx(lg, p), c.bwdResid[l][p], dev.Rand())
+		buf, err := c.encodeEF(a, dxFull, env.HaloIdx(p), c.bwdResid[l][p], dev.Rand())
 		if err != nil {
 			return err
 		}
@@ -139,12 +148,14 @@ func (c *efQuantCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		tmp := tensor.New(len(lg.SendTo[q]), dxLocal.Cols)
+		tmp := a.GetMat(len(lg.SendTo[q]), dxLocal.Cols)
 		if err := quant.DequantizeRows(recv[q], tmp, nil, tmp.Rows, c.bits); err != nil {
 			return fmt.Errorf("ef-quant: rank %d grads from %d: %w", dev.Rank(), q, err)
 		}
-		dxLocal.ScatterAddRows(int32sToInts(lg.SendTo[q]), tmp)
+		scatterAddRows32(dxLocal, lg.SendTo[q], tmp)
+		a.PutMat(tmp)
 	}
+	a.ReleaseAll(recv)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.SendTo, dxLocal.Cols)))
 	return nil
 }

@@ -105,23 +105,34 @@ func topkSelect(row []float32, k int, heapIdx []int, heapAbs []float64, keep []i
 // encodeTopK serializes rows idx of x keeping each row's k
 // largest-magnitude entries. Ties break toward the lower column index,
 // and the kept indices are written in ascending order, so the stream is
-// deterministic.
+// deterministic. Allocates its own scratch; the codec hot path uses
+// topkCodec.encode with instance scratch and an arena buffer instead.
 func encodeTopK(x *tensor.Matrix, idx []int32, k int) []byte {
-	out := make([]byte, topkWireSize(len(idx), k))
+	return (&topkCodec{}).encode(nil, x, idx, k)
+}
+
+// encode is encodeTopK with the codec's reusable selection scratch and an
+// arena output buffer (every byte of which is overwritten).
+func (c *topkCodec) encode(a *Arena, x *tensor.Matrix, idx []int32, k int) []byte {
+	if cap(c.heapIdx) < k {
+		c.heapIdx = make([]int, k)
+		c.heapAbs = make([]float64, k)
+		c.keep = make([]int, 0, k)
+	}
+	heapIdx, heapAbs := c.heapIdx[:k], c.heapAbs[:k]
+	sz := topkWireSize(len(idx), k)
+	out := a.GetBuf(sz)[:sz]
 	binary.LittleEndian.PutUint32(out, uint32(k))
 	off := 4
-	heapIdx := make([]int, k)
-	heapAbs := make([]float64, k)
-	scratch := make([]int, 0, k)
 	for _, r := range idx {
 		row := x.Row(int(r))
-		keep := topkSelect(row, k, heapIdx, heapAbs, scratch)
-		for _, c := range keep {
-			binary.LittleEndian.PutUint32(out[off:], uint32(c))
+		c.keep = topkSelect(row, k, heapIdx, heapAbs, c.keep)
+		for _, col := range c.keep {
+			binary.LittleEndian.PutUint32(out[off:], uint32(col))
 			off += 4
 		}
-		for _, c := range keep {
-			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(row[c]))
+		for _, col := range c.keep {
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(row[col]))
 			off += 4
 		}
 	}
@@ -176,6 +187,11 @@ func decodeTopK(buf []byte, dst *tensor.Matrix, rows []int32, rowOffset int, add
 
 type topkCodec struct {
 	density float64
+	// Reusable selection scratch (not cross-epoch state: contents never
+	// influence results, so the codec stays swap-invariant).
+	heapIdx []int
+	heapAbs []float64
+	keep    []int
 }
 
 func newTopKCodec(env *CodecEnv) (MessageCodec, error) {
@@ -192,12 +208,13 @@ func (c *topkCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Mat
 	// Selection scans every candidate element; charge it like the
 	// quantization kernels.
 	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.SendTo, h.Cols)))
-	payloads := make([][]byte, n)
+	a := env.Scratch
+	payloads := a.Payloads(n)
 	for q := 0; q < n; q++ {
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		payloads[q] = encodeTopK(h, lg.SendTo[q], k)
+		payloads[q] = c.encode(a, h, lg.SendTo[q], k)
 	}
 	recv := dev.RingAll2All(payloads)
 	for p := 0; p < n; p++ {
@@ -208,6 +225,7 @@ func (c *topkCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Mat
 			return fmt.Errorf("topk: rank %d from %d: %w", dev.Rank(), p, err)
 		}
 	}
+	a.ReleaseAll(recv)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.RecvFrom, xFull.Cols)))
 	dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
 	return nil
@@ -220,12 +238,13 @@ func (c *topkCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *te
 	k := topkK(dxFull.Cols, c.density)
 	dev.Clock().Advance(timing.Comp, env.BackwardCosts(l).Total)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.RecvFrom, dxFull.Cols)))
-	payloads := make([][]byte, n)
+	a := env.Scratch
+	payloads := a.Payloads(n)
 	for p := 0; p < n; p++ {
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		payloads[p] = encodeTopK(dxFull, haloIdx(lg, p), k)
+		payloads[p] = c.encode(a, dxFull, env.HaloIdx(p), k)
 	}
 	recv := dev.RingAll2All(payloads)
 	for q := 0; q < n; q++ {
@@ -236,6 +255,7 @@ func (c *topkCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal *te
 			return fmt.Errorf("topk: rank %d grads from %d: %w", dev.Rank(), q, err)
 		}
 	}
+	a.ReleaseAll(recv)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(wireElems(lg.SendTo, dxLocal.Cols)))
 	return nil
 }

@@ -138,7 +138,9 @@ func codecExchangeCheck(f CodecFactory, dep *Deployment, cfg Config, dim int, fi
 		for i := 0; i < lg.NumLocal; i++ {
 			copy(xFull.Row(i), h.Row(i))
 		}
-		env := &ExchangeEnv{Dev: dev, Graph: lg, Cfg: &cfg, costs: make([]layerCosts, cfg.Layers)}
+		// The arena is pre-poisoned: a codec that hands out pooled scratch
+		// without overwriting it fails the round-trip bound loudly.
+		env := &ExchangeEnv{Dev: dev, Graph: lg, Cfg: &cfg, Scratch: dirtyArena(dim), costs: make([]layerCosts, cfg.Layers)}
 		if err := codec.Forward(env, 0, 0, h, xFull); err != nil {
 			forwardFailed.Store(true)
 			col.addf("codec-roundtrip", "rank %d epoch-0 forward failed: %v", r, err)

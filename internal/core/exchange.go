@@ -16,18 +16,41 @@ import (
 // NumLocal+NumHalo) of xFull) from what arrives (lg.RecvFrom wire order).
 // The reverse (backward) exchange ships gradient rows of halo slots back to
 // their owners, which scatter-add them into local gradient rows.
+//
+// Hot-path payload buffers come from the device's Arena and are released
+// by the receiver after decode; see the ownership rules on Arena.
 
-// rowsToBytes serializes x's rows idx as little-endian float32.
-func rowsToBytes(x *tensor.Matrix, idx []int32) []byte {
-	out := make([]byte, 4*len(idx)*x.Cols)
-	off := 0
+// appendRows appends x's rows idx as little-endian float32 to dst and
+// returns the extended slice. Every appended byte is overwritten, so a
+// dirty pooled buffer is a valid dst.
+func appendRows(dst []byte, x *tensor.Matrix, idx []int32) []byte {
+	off := len(dst)
+	dst = quant.Grow(dst, 4*len(idx)*x.Cols)
 	for _, r := range idx {
 		for _, v := range x.Row(int(r)) {
-			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(v))
+			binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(v))
 			off += 4
 		}
 	}
-	return out
+	return dst
+}
+
+// appendAllRows appends every row of x in order (the idx == 0..Rows-1
+// special case, without materializing an index list).
+func appendAllRows(dst []byte, x *tensor.Matrix) []byte {
+	off := len(dst)
+	dst = quant.Grow(dst, 4*len(x.Data))
+	for _, v := range x.Data {
+		binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(v))
+		off += 4
+	}
+	return dst
+}
+
+// rowsToBytes serializes x's rows idx as little-endian float32 into a
+// fresh buffer. Hot paths use appendRows with an arena buffer instead.
+func rowsToBytes(x *tensor.Matrix, idx []int32) []byte {
+	return appendRows(make([]byte, 0, 4*len(idx)*x.Cols), x, idx)
 }
 
 // bytesToRows deserializes buf into dst rows rows[i]+rowOffset.
@@ -42,6 +65,18 @@ func bytesToRows(buf []byte, dst *tensor.Matrix, rows []int32, rowOffset int) er
 			row[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
 			off += 4
 		}
+	}
+	return nil
+}
+
+// bytesToAllRows deserializes buf into every row of dst in order,
+// overwriting all of dst (so a dirty arena matrix is a valid dst).
+func bytesToAllRows(buf []byte, dst *tensor.Matrix) error {
+	if len(buf) != 4*len(dst.Data) {
+		return fmt.Errorf("core: halo payload is %d bytes, want %d", len(buf), 4*len(dst.Data))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 	}
 	return nil
 }
@@ -62,17 +97,36 @@ func addBytesToRows(buf []byte, dst *tensor.Matrix, rows []int32) error {
 	return nil
 }
 
+// gatherRowsInto copies x's rows idx into dst's rows 0..len(idx)-1,
+// overwriting all of dst (a dirty arena matrix is a valid dst).
+func gatherRowsInto(dst, x *tensor.Matrix, idx []int32) {
+	for i, r := range idx {
+		copy(dst.Row(i), x.Row(int(r)))
+	}
+}
+
+// scatterAddRows32 adds src row i into dst row idx[i].
+func scatterAddRows32(dst *tensor.Matrix, idx []int32, src *tensor.Matrix) {
+	for i, r := range idx {
+		d := dst.Row(int(r))
+		for j, v := range src.Row(i) {
+			d[j] += v
+		}
+	}
+}
+
 // exchangeHaloFP performs the full-precision forward halo exchange
 // (Vanilla), filling xFull's halo rows. When raw is true no simulated time
 // is charged (evaluation sideband).
-func exchangeHaloFP(dev Transport, lg *partition.LocalGraph, xLocal, xFull *tensor.Matrix, raw bool) error {
+func exchangeHaloFP(env *ExchangeEnv, xLocal, xFull *tensor.Matrix, raw bool) error {
+	dev, lg, a := env.Dev, env.Graph, env.Scratch
 	n := dev.Size()
-	payloads := make([][]byte, n)
+	payloads := a.Payloads(n)
 	for q := 0; q < n; q++ {
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		payloads[q] = rowsToBytes(xLocal, lg.SendTo[q])
+		payloads[q] = appendRows(a.GetBuf(4*len(lg.SendTo[q])*xLocal.Cols), xLocal, lg.SendTo[q])
 	}
 	var recv [][]byte
 	if raw {
@@ -88,21 +142,24 @@ func exchangeHaloFP(dev Transport, lg *partition.LocalGraph, xLocal, xFull *tens
 			return fmt.Errorf("rank %d from %d: %w", dev.Rank(), p, err)
 		}
 	}
+	a.ReleaseAll(recv)
 	return nil
 }
 
 // exchangeGradFP performs the full-precision backward exchange: dxFull's
 // halo rows go back to their owners and are scatter-added into dxLocal.
-func exchangeGradFP(dev Transport, lg *partition.LocalGraph, dxFull, dxLocal *tensor.Matrix) error {
+func exchangeGradFP(env *ExchangeEnv, dxFull, dxLocal *tensor.Matrix) error {
+	dev, lg, a := env.Dev, env.Graph, env.Scratch
 	n := dev.Size()
-	payloads := make([][]byte, n)
+	payloads := a.Payloads(n)
 	for p := 0; p < n; p++ {
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		// Halo rows live at NumLocal+slot; reuse rowsToBytes via the
+		// Halo rows live at NumLocal+slot; reuse appendRows via the
 		// shifted index list.
-		payloads[p] = rowsToBytes(dxFull, haloIdx(lg, p))
+		idx := env.HaloIdx(p)
+		payloads[p] = appendRows(a.GetBuf(4*len(idx)*dxFull.Cols), dxFull, idx)
 	}
 	recv := dev.RingAll2All(payloads)
 	for q := 0; q < n; q++ {
@@ -113,17 +170,8 @@ func exchangeGradFP(dev Transport, lg *partition.LocalGraph, dxFull, dxLocal *te
 			return fmt.Errorf("rank %d grads from %d: %w", dev.Rank(), q, err)
 		}
 	}
+	a.ReleaseAll(recv)
 	return nil
-}
-
-// haloIdx returns the xFull row indices of the halo slots received from
-// device p (wire order RecvFrom[p], shifted past the local block).
-func haloIdx(lg *partition.LocalGraph, p int) []int32 {
-	idx := make([]int32, len(lg.RecvFrom[p]))
-	for i, s := range lg.RecvFrom[p] {
-		idx[i] = s + int32(lg.NumLocal)
-	}
-	return idx
 }
 
 // wireElems counts the float32 elements across the given wire lists at
@@ -196,17 +244,20 @@ func quantRecvElems(wt *widthTable, dim int) int {
 // widths. Charges Quant for the quantize/de-quantize kernels; Comm is
 // charged inside RingAll2All. Returns the Comm seconds this call added
 // (used by the overlap schedule).
-func exchangeHaloQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
+func exchangeHaloQ(env *ExchangeEnv, wt *widthTable,
 	xLocal, xFull *tensor.Matrix) (timing.Seconds, error) {
+	dev, lg, a := env.Dev, env.Graph, env.Scratch
 	n := dev.Size()
 	model := dev.Model()
 	dev.Clock().Advance(timing.Quant, model.QuantTime(quantSendElems(wt, xLocal.Cols)))
-	payloads := make([][]byte, n)
+	payloads := a.Payloads(n)
 	for q := 0; q < n; q++ {
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		buf, err := quant.QuantizeMixed(xLocal, lg.SendTo[q], wt.send[q], dev.Rand())
+		buf, err := quant.AppendQuantizedMixed(
+			a.GetBuf(quant.MixedSize(wt.send[q], xLocal.Cols)),
+			xLocal, lg.SendTo[q], wt.send[q], dev.Rand())
 		if err != nil {
 			return 0, err
 		}
@@ -219,10 +270,11 @@ func exchangeHaloQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		if err := quant.DequantizeMixed(recv[p], xFull, haloIdx(lg, p), wt.recv[p]); err != nil {
+		if err := quant.DequantizeMixed(recv[p], xFull, env.HaloIdx(p), wt.recv[p]); err != nil {
 			return 0, fmt.Errorf("rank %d from %d: %w", dev.Rank(), p, err)
 		}
 	}
+	a.ReleaseAll(recv)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(quantRecvElems(wt, xFull.Cols)))
 	return commDelta, nil
 }
@@ -230,17 +282,20 @@ func exchangeHaloQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 // exchangeGradQ performs the quantized backward exchange (embedding
 // gradients / "errors"). wt is the backward width table: send[p] covers
 // slots RecvFrom[p], recv[q] covers rows SendTo[q].
-func exchangeGradQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
+func exchangeGradQ(env *ExchangeEnv, wt *widthTable,
 	dxFull, dxLocal *tensor.Matrix) (timing.Seconds, error) {
+	dev, lg, a := env.Dev, env.Graph, env.Scratch
 	n := dev.Size()
 	model := dev.Model()
 	dev.Clock().Advance(timing.Quant, model.QuantTime(quantSendElems(wt, dxFull.Cols)))
-	payloads := make([][]byte, n)
+	payloads := a.Payloads(n)
 	for p := 0; p < n; p++ {
 		if p == dev.Rank() || len(lg.RecvFrom[p]) == 0 {
 			continue
 		}
-		buf, err := quant.QuantizeMixed(dxFull, haloIdx(lg, p), wt.send[p], dev.Rand())
+		buf, err := quant.AppendQuantizedMixed(
+			a.GetBuf(quant.MixedSize(wt.send[p], dxFull.Cols)),
+			dxFull, env.HaloIdx(p), wt.send[p], dev.Rand())
 		if err != nil {
 			return 0, err
 		}
@@ -253,24 +308,18 @@ func exchangeGradQ(dev Transport, lg *partition.LocalGraph, wt *widthTable,
 		if q == dev.Rank() || len(lg.SendTo[q]) == 0 {
 			continue
 		}
-		// De-quantize into a scratch row per message, accumulating.
-		buf := recv[q]
-		rows := lg.SendTo[q]
-		// Decode group-by-group via DequantizeMixed into a temp matrix,
+		// Decode group-by-group via DequantizeMixed into arena scratch,
 		// then scatter-add (cannot decode straight into dxLocal because
 		// multiple devices may target the same local row).
-		tmp := tensor.New(len(rows), dxLocal.Cols)
-		if err := quant.DequantizeMixed(buf, tmp, nil, wt.recv[q]); err != nil {
+		rows := lg.SendTo[q]
+		tmp := a.GetMat(len(rows), dxLocal.Cols)
+		if err := quant.DequantizeMixed(recv[q], tmp, nil, wt.recv[q]); err != nil {
 			return 0, fmt.Errorf("rank %d grads from %d: %w", dev.Rank(), q, err)
 		}
-		for i, r := range rows {
-			dst := dxLocal.Row(int(r))
-			src := tmp.Row(i)
-			for j, v := range src {
-				dst[j] += v
-			}
-		}
+		scatterAddRows32(dxLocal, rows, tmp)
+		a.PutMat(tmp)
 	}
+	a.ReleaseAll(recv)
 	dev.Clock().Advance(timing.Quant, model.QuantTime(quantRecvElems(wt, dxLocal.Cols)))
 	return commDelta, nil
 }

@@ -21,11 +21,11 @@ func FuzzCodecDecode(f *testing.F) {
 	idx := []int32{0, 1, 2}
 	f.Add(encodeTopK(x, idx, 2))
 	var prev *tensor.Matrix
-	if kf, err := encodeDelta(x, idx, &prev, true, rng); err == nil {
-		f.Add(kf)
+	if kf, err := encodeDelta(nil, x, idx, &prev, true, rng); err == nil {
+		f.Add(append([]byte(nil), kf...))
 	}
-	if d, err := encodeDelta(x, idx, &prev, false, rng); err == nil {
-		f.Add(d)
+	if d, err := encodeDelta(nil, x, idx, &prev, false, rng); err == nil {
+		f.Add(append([]byte(nil), d...))
 	}
 	f.Add(quant.QuantizeRows(x, idx, quant.B2, rng))
 	f.Add(rowsToBytes(x, idx))
@@ -34,18 +34,24 @@ func FuzzCodecDecode(f *testing.F) {
 		dst := tensor.New(4, 8)
 		rows := []int32{0, 1, 2}
 
+		// Decoders draw scratch from a previously-dirty arena (poisoned
+		// buffers and NaN matrices), mirroring the steady-state training
+		// loop: any read of pooled memory they did not overwrite shows up
+		// as corruption under mutation.
+		a := dirtyArena(8)
+
 		// topk: overwrite and scatter-add decode paths.
 		_ = decodeTopK(data, dst, rows, 1, false)
 		_ = decodeTopK(data, dst, rows, 0, true)
 
 		// delta: keyframe expectation, residual expectation with and
-		// without a reference.
+		// without a reference — each against pooled dirty scratch.
 		var noRef *tensor.Matrix
-		_, _ = decodeDelta(data, 3, 8, &noRef, true)
+		_, _ = decodeDelta(a, data, 3, 8, &noRef, true)
 		noRef = nil
-		_, _ = decodeDelta(data, 3, 8, &noRef, false)
+		_, _ = decodeDelta(a, data, 3, 8, &noRef, false)
 		ref := tensor.New(3, 8)
-		_, _ = decodeDelta(data, 3, 8, &ref, false)
+		_, _ = decodeDelta(a, data, 3, 8, &ref, false)
 
 		// Quantized streams: every packed width, plus the mixed-width
 		// grouped layout the adaptive codec ships.

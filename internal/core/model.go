@@ -26,6 +26,12 @@ type gnnLayer struct {
 
 	// saved activations for backward
 	aggIn *tensor.Matrix // GCN: Â·X_full; SAGE: concat — the Linear input
+
+	// steady-state scratch (shapes are fixed per device): the aggregation
+	// output and the backward input-gradient block. Both are fully
+	// (over)written on every use — SpMM overwrites, SpMMT zero-fills.
+	agg    *tensor.Matrix
+	dxFull *tensor.Matrix
 }
 
 func newGNNLayer(kind ModelKind, idx int, inDim, outDim int, last bool, dropout float32, rng *tensor.RNG) *gnnLayer {
@@ -60,7 +66,10 @@ func (l *gnnLayer) params() []*nn.Param {
 // forward consumes xFull ((numLocal+numHalo)×inDim with halo rows already
 // filled) and returns the layer output over local rows.
 func (l *gnnLayer) forward(lg *partition.LocalGraph, xFull *tensor.Matrix, rng *tensor.RNG, train bool) *tensor.Matrix {
-	agg := tensor.New(lg.NumLocal, l.inDim)
+	if l.agg == nil {
+		l.agg = tensor.New(lg.NumLocal, l.inDim)
+	}
+	agg := l.agg
 	lg.Adj.SpMM(agg, xFull)
 	var linIn *tensor.Matrix
 	if l.kind == GraphSAGE {
@@ -95,7 +104,10 @@ func (l *gnnLayer) backward(lg *partition.LocalGraph, dout *tensor.Matrix, needI
 	if !needInput {
 		return nil
 	}
-	dxFull := tensor.New(lg.NumLocal+lg.NumHalo, l.inDim)
+	if l.dxFull == nil {
+		l.dxFull = tensor.New(lg.NumLocal+lg.NumHalo, l.inDim)
+	}
+	dxFull := l.dxFull
 	if l.kind == GraphSAGE {
 		dSelf, dAgg := dLinIn.SplitCols(l.inDim)
 		lg.Adj.SpMMT(dxFull, dAgg)
@@ -175,6 +187,7 @@ type deviceModel struct {
 	kind   ModelKind
 	layers []*gnnLayer
 	costs  []layerCosts
+	ps     []*nn.Param // cached params() result (the set is static)
 }
 
 func newDeviceModel(cfg *Config, lg *partition.LocalGraph, inDim, numClasses int, model *timing.CostModel) *deviceModel {
@@ -196,11 +209,12 @@ func newDeviceModel(cfg *Config, lg *partition.LocalGraph, inDim, numClasses int
 }
 
 func (dm *deviceModel) params() []*nn.Param {
-	var ps []*nn.Param
-	for _, l := range dm.layers {
-		ps = append(ps, l.params()...)
+	if dm.ps == nil {
+		for _, l := range dm.layers {
+			dm.ps = append(dm.ps, l.params()...)
+		}
 	}
-	return ps
+	return dm.ps
 }
 
 func (dm *deviceModel) zeroGrads() {

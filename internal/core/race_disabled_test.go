@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates exact allocation-count assertions; see
+// race_enabled_test.go.
+const raceEnabled = false

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/partition"
 	"repro/internal/tensor"
@@ -35,39 +35,44 @@ func buildSancusTopology(lgs []*partition.LocalGraph) *sancusTopology {
 		recvMap:  make([][][]int32, n),
 	}
 	for p := 0; p < n; p++ {
-		seen := map[int32]bool{}
-		var rows []int32
+		lg := lgs[p]
+		// Dense position table over p's local rows (SendTo entries are local
+		// row indices): dedup and index without maps or sorting — walking
+		// the table in row order yields the sorted boundary directly.
+		pos := make([]int32, lg.NumLocal)
+		for i := range pos {
+			pos[i] = -1
+		}
+		count := 0
 		for q := 0; q < n; q++ {
-			for _, r := range lgs[p].SendTo[q] {
-				if !seen[r] {
-					seen[r] = true
-					rows = append(rows, r)
+			for _, r := range lg.SendTo[q] {
+				if pos[r] < 0 {
+					pos[r] = 0
+					count++
 				}
 			}
 		}
-		sortInt32(rows)
-		t.boundary[p] = rows
-		pos := make(map[int32]int32, len(rows))
-		for i, r := range rows {
-			pos[r] = int32(i)
+		rows := make([]int32, 0, count)
+		for r := 0; r < lg.NumLocal; r++ {
+			if pos[r] == 0 {
+				pos[r] = int32(len(rows))
+				rows = append(rows, int32(r))
+			}
 		}
+		t.boundary[p] = rows
 		t.recvMap[p] = make([][]int32, n)
 		for d := 0; d < n; d++ {
 			if d == p {
 				continue
 			}
-			m := make([]int32, len(lgs[p].SendTo[d]))
-			for j, r := range lgs[p].SendTo[d] {
+			m := make([]int32, len(lg.SendTo[d]))
+			for j, r := range lg.SendTo[d] {
 				m[j] = pos[r]
 			}
 			t.recvMap[p][d] = m
 		}
 	}
 	return t
-}
-
-func sortInt32(a []int32) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
 
 // exchange fills xFull's halo rows from the per-layer historical cache,
@@ -79,11 +84,13 @@ func (c *sancusCodec) exchange(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 	if c.cache[l] == nil || c.cache[l].Cols != xFull.Cols {
 		c.cache[l] = tensor.New(lg.NumHalo, xFull.Cols)
 	}
-	myBoundary := h.GatherRows(int32sToInts(c.topo.boundary[rank]))
+	a := env.Scratch
+	myBoundary := a.GetMat(len(c.topo.boundary[rank]), h.Cols)
+	gatherRowsInto(myBoundary, h, c.topo.boundary[rank])
 
 	broadcast := true
 	if epoch > 0 && c.last[l] != nil && c.last[l].SameShape(myBoundary) {
-		drift := tensor.Sub(myBoundary, c.last[l]).FrobeniusNorm()
+		drift := subFrobNorm(myBoundary, c.last[l])
 		norm := myBoundary.FrobeniusNorm() + 1e-12
 		broadcast = drift/norm >= env.Cfg.SancusDrift || c.age[l]+1 >= env.Cfg.SancusMaxStale
 	}
@@ -91,46 +98,49 @@ func (c *sancusCodec) exchange(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 	for src := 0; src < n; src++ {
 		var payload []byte
 		if src == rank && broadcast && len(c.topo.boundary[rank]) > 0 {
-			payload = rowsToBytes(myBoundary, allRows(myBoundary.Rows))
+			// Broadcast payloads are shared by every receiver and may be
+			// re-read under run-ahead, so they are never pooled.
+			payload = appendAllRows(make([]byte, 0, 4*len(myBoundary.Data)), myBoundary)
 		}
 		got := env.Dev.BroadcastBytes(src, payload)
 		if src == rank || len(got) == 0 || len(lg.RecvFrom[src]) == 0 {
 			continue
 		}
 		nRows := len(c.topo.boundary[src])
-		tmp := tensor.New(nRows, xFull.Cols)
-		if err := bytesToRows(got, tmp, allRows(nRows), 0); err != nil {
+		tmp := a.GetMat(nRows, xFull.Cols)
+		if err := bytesToAllRows(got, tmp); err != nil {
 			return fmt.Errorf("sancus: rank %d from %d: %w", rank, src, err)
 		}
 		cache := c.cache[l]
 		for j, slot := range lg.RecvFrom[src] {
 			copy(cache.Row(int(slot)), tmp.Row(int(c.topo.recvMap[src][rank][j])))
 		}
+		a.PutMat(tmp)
 	}
 	if broadcast {
-		c.last[l] = myBoundary.Clone()
+		if c.last[l] != nil && c.last[l].SameShape(myBoundary) {
+			c.last[l].CopyFrom(myBoundary)
+		} else {
+			c.last[l] = myBoundary.Clone()
+		}
 		c.age[l] = 0
 	} else {
 		c.age[l]++
 	}
+	a.PutMat(myBoundary)
 	for i := 0; i < lg.NumHalo; i++ {
 		copy(xFull.Row(lg.NumLocal+i), c.cache[l].Row(i))
 	}
 	return nil
 }
 
-func allRows(n int) []int32 {
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(i)
+// subFrobNorm returns ‖a−b‖_F without materializing the difference,
+// computing float32 element differences exactly as tensor.Sub would.
+func subFrobNorm(a, b *tensor.Matrix) float64 {
+	var s float64
+	for i, v := range a.Data {
+		d := float64(v - b.Data[i])
+		s += d * d
 	}
-	return out
-}
-
-func int32sToInts(a []int32) []int {
-	out := make([]int, len(a))
-	for i, v := range a {
-		out[i] = int(v)
-	}
-	return out
+	return math.Sqrt(s)
 }

@@ -112,7 +112,7 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 		}
 	}
 
-	shared := &RunShared{}
+	shared := dep.runShared()
 	err = rt.Run(cfg.Seed, func(dev Transport) error {
 		codec, err := factory(&CodecEnv{
 			Cfg:    &cfg,
@@ -136,7 +136,10 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 		w.ld = shardData(ds, w.lg)
 		w.model = newDeviceModel(&cfg, w.lg, ds.Features.Cols, ds.NumClasses, dev.Model())
 		w.opt = nn.NewAdam(cfg.LR)
-		w.env = &ExchangeEnv{Dev: dev, Graph: w.lg, Cfg: &cfg, costs: w.model.costs}
+		w.env = &ExchangeEnv{Dev: dev, Graph: w.lg, Cfg: &cfg, Scratch: NewPooledArena(), costs: w.model.costs}
+		// Hand the arena — freelists intact — to the next run in this
+		// process, so repeated runs stay warm without re-allocating.
+		defer w.env.Scratch.Recycle()
 		return w.run()
 	})
 	if err != nil {
@@ -172,6 +175,13 @@ type worker struct {
 
 	codec MessageCodec
 	env   *ExchangeEnv
+
+	// Steady-state scratch reused across epochs (shapes are static per
+	// device): per-layer xFull/dxLocal blocks, the flat grads list handed
+	// to AllReduceSum, and the cached parameter list.
+	xFull   []*tensor.Matrix
+	dxLocal []*tensor.Matrix
+	grads   []*tensor.Matrix
 }
 
 func (w *worker) run() error {
@@ -245,11 +255,12 @@ func (w *worker) trainEpoch(epoch int) (float64, error) {
 		return 0, err
 	}
 	// Model-gradient synchronization (small relative to messages; §1 fn.1).
-	var grads []*tensor.Matrix
-	for _, p := range w.model.params() {
-		grads = append(grads, p.Grad)
+	if w.grads == nil {
+		for _, p := range w.model.params() {
+			w.grads = append(w.grads, p.Grad)
+		}
 	}
-	w.dev.AllReduceSum(grads)
+	w.dev.AllReduceSum(w.grads)
 	w.opt.Step(w.model.params())
 	return w.globalSum(loss), nil
 }
@@ -260,14 +271,23 @@ func (w *worker) trainEpoch(epoch int) (float64, error) {
 func (w *worker) forward(epoch int, train bool) (*tensor.Matrix, error) {
 	cfg := w.cfg
 	h := w.ld.x
+	if w.xFull == nil {
+		w.xFull = make([]*tensor.Matrix, cfg.Layers)
+		for l := 0; l < cfg.Layers; l++ {
+			w.xFull[l] = tensor.New(w.lg.NumLocal+w.lg.NumHalo, w.model.layers[l].inDim)
+		}
+	}
 	for l := 0; l < cfg.Layers; l++ {
 		lay := w.model.layers[l]
-		xFull := tensor.New(w.lg.NumLocal+w.lg.NumHalo, lay.inDim)
+		// Per-layer scratch: local rows are re-copied and every halo row is
+		// rewritten by the exchange, so reuse across epochs (and between
+		// train and eval passes) is safe.
+		xFull := w.xFull[l]
 		for i := 0; i < w.lg.NumLocal; i++ {
 			copy(xFull.Row(i), h.Row(i))
 		}
 		if !train {
-			if err := exchangeHaloFP(w.dev, w.lg, h, xFull, true); err != nil {
+			if err := exchangeHaloFP(w.env, h, xFull, true); err != nil {
 				return nil, err
 			}
 			h = lay.forward(w.lg, xFull, w.dev.Rand(), false)
@@ -294,7 +314,16 @@ func (w *worker) backward(epoch int, dlogits *tensor.Matrix) error {
 			w.dev.Clock().Advance(timing.Comp, w.model.costs[l].bwdTotal)
 			return nil
 		}
-		dxLocal := dxFull.RowSlice(0, w.lg.NumLocal)
+		if w.dxLocal == nil {
+			w.dxLocal = make([]*tensor.Matrix, cfg.Layers)
+		}
+		if w.dxLocal[l] == nil {
+			w.dxLocal[l] = tensor.New(w.lg.NumLocal, dxFull.Cols)
+		}
+		dxLocal := w.dxLocal[l]
+		for i := 0; i < w.lg.NumLocal; i++ {
+			copy(dxLocal.Row(i), dxFull.Row(i))
+		}
 		if err := w.codec.Backward(w.env, epoch, l, dxFull, dxLocal); err != nil {
 			return err
 		}

@@ -256,6 +256,24 @@ type shardedDevice struct {
 	rank int
 	seq  int // next collective sequence number
 	rng  *tensor.RNG
+
+	// sizes is reusable accounting scratch for RingAll2All: it is only read
+	// between this device's post and complete of one sequence.
+	sizes [][]int
+	// sums is reusable AllReduceSum reduction scratch, private to this
+	// device (the posted matrices are clones, so reuse here is safe).
+	sums []*tensor.Matrix
+}
+
+// sizesScratch returns the n×n RingAll2All size table, reused across calls.
+func (d *shardedDevice) sizesScratch(n int) [][]int {
+	if len(d.sizes) != n {
+		d.sizes = make([][]int, n)
+		for i := range d.sizes {
+			d.sizes[i] = make([]int, n)
+		}
+	}
+	return d.sizes
 }
 
 func (d *shardedDevice) Rank() int                { return d.rank }
@@ -359,15 +377,23 @@ func (d *shardedDevice) RingAll2All(payloads [][]byte) [][]byte {
 	if len(payloads) != n {
 		panic(fmt.Sprintf("core: RingAll2All got %d payloads for %d devices", len(payloads), n))
 	}
-	seq := d.post(opRing, payloads, nil)
+	// Post a private copy of the container: callers may reuse theirs
+	// (core.Arena.Payloads) for the next collective while a run-ahead
+	// straggler is still reading this one. The buffers themselves are safe
+	// to post as-is — each has exactly one consumer, which releases it into
+	// its own arena only after decoding.
+	posted := make([][]byte, n)
+	copy(posted, payloads)
+	seq := d.post(opRing, posted, nil)
 	c := d.waitAll(seq)
 	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
-	sizes := make([][]int, n)
+	sizes := d.sizesScratch(n)
 	for src := 0; src < n; src++ {
-		sizes[src] = make([]int, n)
 		for dst := 0; dst < n; dst++ {
 			if dst != src {
 				sizes[src][dst] = len(c.bufs[src][dst])
+			} else {
+				sizes[src][dst] = 0
 			}
 		}
 	}
@@ -400,9 +426,15 @@ func (d *shardedDevice) AllReduceSum(ms []*tensor.Matrix) {
 	seq := d.post(opAllReduce, nil, clones)
 	c := d.waitAll(seq)
 	d.Clock().AdvanceTo(timing.Idle, c.maxAt())
-	sums := make([]*tensor.Matrix, len(ms))
+	if len(d.sums) != len(ms) {
+		d.sums = make([]*tensor.Matrix, len(ms))
+	}
+	sums := d.sums
 	for i := range ms {
-		sums[i] = c.mats[0][i].Clone()
+		if sums[i] == nil || !sums[i].SameShape(c.mats[0][i]) {
+			sums[i] = tensor.New(c.mats[0][i].Rows, c.mats[0][i].Cols)
+		}
+		sums[i].CopyFrom(c.mats[0][i])
 		for r := 1; r < s.n; r++ {
 			sums[i].AddInPlace(c.mats[r][i])
 		}
@@ -573,7 +605,11 @@ func (d *shardedDevice) RawAll2All(payloads [][]byte) [][]byte {
 	if len(payloads) != s.n {
 		panic(fmt.Sprintf("core: RawAll2All got %d payloads for %d devices", len(payloads), s.n))
 	}
-	seq := d.post(opRawRing, payloads, nil)
+	// Same container-copy rule as RingAll2All: the caller may reuse its
+	// payloads container while run-ahead stragglers still read this one.
+	posted := make([][]byte, s.n)
+	copy(posted, payloads)
+	seq := d.post(opRawRing, posted, nil)
 	c := d.waitAll(seq)
 	received := make([][]byte, s.n)
 	for p := 0; p < s.n; p++ {

@@ -194,25 +194,33 @@ func (g *CSR) SpMM(out, x *tensor.Matrix) {
 		panic(fmt.Sprintf("graph: SpMM shape mismatch graph %dx%d, x %dx%d, out %dx%d",
 			g.N, g.Cols, x.Rows, x.Cols, out.Rows, out.Cols))
 	}
-	parallelOver(g.N, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			orow := out.Row(u)
-			for j := range orow {
-				orow[j] = 0
+	// Small graphs skip the closure entirely: one passed to parallelOver
+	// always heap-escapes (the go statement leaks it), even when run inline.
+	if g.N < 2*parallelMinChunk {
+		g.spMMRange(out, x, 0, g.N)
+		return
+	}
+	parallelOver(g.N, func(lo, hi int) { g.spMMRange(out, x, lo, hi) })
+}
+
+func (g *CSR) spMMRange(out, x *tensor.Matrix, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		orow := out.Row(u)
+		for j := range orow {
+			orow[j] = 0
+		}
+		start, end := g.RowPtr[u], g.RowPtr[u+1]
+		for p := start; p < end; p++ {
+			w := float32(1)
+			if g.Weights != nil {
+				w = g.Weights[p]
 			}
-			start, end := g.RowPtr[u], g.RowPtr[u+1]
-			for p := start; p < end; p++ {
-				w := float32(1)
-				if g.Weights != nil {
-					w = g.Weights[p]
-				}
-				src := x.Row(int(g.ColIdx[p]))
-				for j, v := range src {
-					orow[j] += w * v
-				}
+			src := x.Row(int(g.ColIdx[p]))
+			for j, v := range src {
+				orow[j] += w * v
 			}
 		}
-	})
+	}
 }
 
 // SpMMT computes out = Aᵀ × Y: the backward counterpart of SpMM, scattering
@@ -242,8 +250,10 @@ func (g *CSR) SpMMT(out, y *tensor.Matrix) {
 
 // parallelOver splits [0, n) across goroutines (same contract as
 // tensor.parallelRows; duplicated to avoid exporting it from tensor).
+const parallelMinChunk = 256
+
 func parallelOver(n int, fn func(lo, hi int)) {
-	const minChunk = 256
+	const minChunk = parallelMinChunk
 	if n < 2*minChunk {
 		fn(0, n)
 		return

@@ -56,6 +56,10 @@ func ParamCount(m Module) int {
 type Linear struct {
 	W, B *Param
 	x    *tensor.Matrix // saved input
+
+	// steady-state scratch, reused when shapes repeat (module outputs are
+	// dead by the time the same module runs forward/backward again)
+	y, dx, dw *tensor.Matrix
 }
 
 // NewLinear creates a Glorot-initialized Linear layer.
@@ -74,7 +78,9 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 // Forward computes xW + b and saves x for backward.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	l.x = x
-	y := tensor.MatMul(x, l.W.Value)
+	l.y = ensure(l.y, x.Rows, l.W.Value.Cols)
+	y := l.y
+	tensor.MatMulInto(y, x, l.W.Value)
 	brow := l.B.Value.Row(0)
 	for i := 0; i < y.Rows; i++ {
 		row := y.Row(i)
@@ -90,7 +96,11 @@ func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	l.W.Grad.AddInPlace(tensor.TMatMul(l.x, dy))
+	// dW is computed into scratch then accumulated, keeping the float
+	// addition order of the two-step TMatMul + AddInPlace formulation.
+	l.dw = ensure(l.dw, l.x.Cols, dy.Cols)
+	tensor.TMatMulInto(l.dw, l.x, dy)
+	l.W.Grad.AddInPlace(l.dw)
 	brow := l.B.Grad.Row(0)
 	for i := 0; i < dy.Rows; i++ {
 		row := dy.Row(i)
@@ -98,17 +108,30 @@ func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 			brow[j] += row[j]
 		}
 	}
-	return tensor.MatMulT(dy, l.W.Value)
+	l.dx = ensure(l.dx, dy.Rows, l.W.Value.Rows)
+	tensor.MatMulTInto(l.dx, dy, l.W.Value)
+	return l.dx
+}
+
+// ensure returns m if it already has the wanted shape, else a fresh
+// matrix. Callers fully overwrite the result, so stale contents are fine.
+func ensure(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if m != nil && m.Rows == rows && m.Cols == cols {
+		return m
+	}
+	return tensor.New(rows, cols)
 }
 
 // ReLU activation with saved mask.
 type ReLU struct {
-	mask []bool
+	mask     []bool
+	out, dxm *tensor.Matrix
 }
 
 // Forward returns max(x, 0), saving the active mask.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
+	r.out = ensure(r.out, x.Rows, x.Cols)
+	out := r.out
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -118,6 +141,7 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 			out.Data[i] = v
 			r.mask[i] = true
 		} else {
+			out.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -129,10 +153,13 @@ func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if len(r.mask) != len(dy.Data) {
 		panic("nn: ReLU.Backward shape mismatch")
 	}
-	out := tensor.New(dy.Rows, dy.Cols)
+	r.dxm = ensure(r.dxm, dy.Rows, dy.Cols)
+	out := r.dxm
 	for i, v := range dy.Data {
 		if r.mask[i] {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -146,6 +173,7 @@ type LayerNorm struct {
 	eps         float32
 	xhat        *tensor.Matrix
 	invStd      []float32
+	out, dxm    *tensor.Matrix
 }
 
 // NewLayerNorm creates a LayerNorm over dim features.
@@ -165,8 +193,9 @@ func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
 // Forward normalizes rows and applies γ·x̂ + β.
 func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	d := x.Cols
-	out := tensor.New(x.Rows, d)
-	ln.xhat = tensor.New(x.Rows, d)
+	ln.out = ensure(ln.out, x.Rows, d)
+	out := ln.out
+	ln.xhat = ensure(ln.xhat, x.Rows, d)
 	if cap(ln.invStd) < x.Rows {
 		ln.invStd = make([]float32, x.Rows)
 	}
@@ -204,7 +233,8 @@ func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		panic("nn: LayerNorm.Backward before Forward")
 	}
 	d := dy.Cols
-	out := tensor.New(dy.Rows, d)
+	ln.dxm = ensure(ln.dxm, dy.Rows, d)
+	out := ln.dxm
 	g := ln.Gamma.Value.Row(0)
 	gg := ln.Gamma.Grad.Row(0)
 	gb := ln.Beta.Grad.Row(0)
@@ -234,8 +264,9 @@ func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
 // Dropout zeroes activations with probability p during training, scaling
 // survivors by 1/(1−p) (inverted dropout).
 type Dropout struct {
-	P    float32
-	mask []float32
+	P        float32
+	mask     []float32
+	out, dxm *tensor.Matrix
 }
 
 // Forward applies dropout using rng; pass train=false for evaluation
@@ -247,7 +278,8 @@ func (dp *Dropout) Forward(x *tensor.Matrix, rng *tensor.RNG, train bool) *tenso
 	}
 	keep := 1 - dp.P
 	scale := 1 / keep
-	out := tensor.New(x.Rows, x.Cols)
+	dp.out = ensure(dp.out, x.Rows, x.Cols)
+	out := dp.out
 	if cap(dp.mask) < len(x.Data) {
 		dp.mask = make([]float32, len(x.Data))
 	}
@@ -258,6 +290,7 @@ func (dp *Dropout) Forward(x *tensor.Matrix, rng *tensor.RNG, train bool) *tenso
 			out.Data[i] = v * scale
 		} else {
 			dp.mask[i] = 0
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -268,7 +301,8 @@ func (dp *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if dp.mask == nil {
 		return dy
 	}
-	out := tensor.New(dy.Rows, dy.Cols)
+	dp.dxm = ensure(dp.dxm, dy.Rows, dy.Cols)
+	out := dp.dxm
 	for i, v := range dy.Data {
 		out.Data[i] = v * dp.mask[i]
 	}

@@ -1,7 +1,9 @@
 package quant
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/tensor"
 )
@@ -30,9 +32,13 @@ func MixedSize(widths []BitWidth, dim int) int {
 // groupOrder fixes the concatenation order of width groups on the wire.
 var groupOrder = []BitWidth{B8, B4, B2}
 
-// QuantizeMixed encodes row x[idx[i]] at width widths[i] for every i,
-// grouped by width in groupOrder. idx nil means rows 0..len(widths)-1.
-func QuantizeMixed(x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor.RNG) ([]byte, error) {
+// AppendQuantizedMixed appends the QuantizeMixed stream to dst and returns
+// the extended slice: row x[idx[i]] is encoded at width widths[i], grouped
+// by width in groupOrder. idx nil means rows 0..len(widths)-1. The caller
+// owns dst; every appended byte is overwritten, so a dirty pooled buffer
+// is a valid dst. Rows are encoded one at a time straight into the output
+// — no per-group index slices or sub-buffers are built.
+func AppendQuantizedMixed(dst []byte, x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor.RNG) ([]byte, error) {
 	if idx != nil && len(idx) != len(widths) {
 		return nil, fmt.Errorf("quant: %d indices but %d widths", len(idx), len(widths))
 	}
@@ -41,25 +47,32 @@ func QuantizeMixed(x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor
 			return nil, fmt.Errorf("quant: row %d has unpackable bit-width %d", i, b)
 		}
 	}
-	out := make([]byte, 0, MixedSize(widths, x.Cols))
 	for _, b := range groupOrder {
-		var rows []int32
+		packed := b.PackedSize(x.Cols)
 		for i, w := range widths {
 			if w != b {
 				continue
 			}
-			r := int32(i)
+			r := i
 			if idx != nil {
-				r = idx[i]
+				r = int(idx[i])
 			}
-			rows = append(rows, r)
+			off := len(dst)
+			dst = Grow(dst, headerBytes+packed)
+			meta := QuantizeRow(x.Row(r), b, dst[off+headerBytes:off+headerBytes+packed], rng)
+			binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(meta.Zero))
+			binary.LittleEndian.PutUint32(dst[off+4:], math.Float32bits(meta.Scale))
 		}
-		if len(rows) == 0 {
-			continue
-		}
-		out = append(out, QuantizeRows(x, rows, b, rng)...)
 	}
-	return out, nil
+	return dst, nil
+}
+
+// QuantizeMixed encodes row x[idx[i]] at width widths[i] for every i,
+// grouped by width in groupOrder. idx nil means rows 0..len(widths)-1.
+// Allocates a fresh exact-size buffer; hot paths should use
+// AppendQuantizedMixed with a reused buffer instead.
+func QuantizeMixed(x *tensor.Matrix, idx []int32, widths []BitWidth, rng *tensor.RNG) ([]byte, error) {
+	return AppendQuantizedMixed(make([]byte, 0, MixedSize(widths, x.Cols)), x, idx, widths, rng)
 }
 
 // DequantizeMixed decodes a QuantizeMixed stream into dst rows dstRows[i]
@@ -79,25 +92,22 @@ func DequantizeMixed(stream []byte, dst *tensor.Matrix, dstRows []int32, widths 
 	}
 	off := 0
 	for _, b := range groupOrder {
-		var rows []int32
+		packed := b.PackedSize(dst.Cols)
 		for i, w := range widths {
 			if w != b {
 				continue
 			}
-			r := int32(i)
+			r := i
 			if dstRows != nil {
-				r = dstRows[i]
+				r = int(dstRows[i])
 			}
-			rows = append(rows, r)
+			meta := RowMeta{
+				Zero:  math.Float32frombits(binary.LittleEndian.Uint32(stream[off:])),
+				Scale: math.Float32frombits(binary.LittleEndian.Uint32(stream[off+4:])),
+			}
+			DequantizeRow(stream[off+headerBytes:off+headerBytes+packed], meta, b, dst.Row(r))
+			off += headerBytes + packed
 		}
-		if len(rows) == 0 {
-			continue
-		}
-		sz := WireSize(len(rows), dst.Cols, b)
-		if err := DequantizeRows(stream[off:off+sz], dst, rows, len(rows), b); err != nil {
-			return err
-		}
-		off += sz
 	}
 	return nil
 }

@@ -82,30 +82,61 @@ func WireSize(rows, dim int, b BitWidth) int {
 // QuantizeRow quantizes one float32 vector into codes at width b, writing
 // packed bytes to dst (len ≥ PackedSize(len(h))) and returning the row
 // meta. rng supplies stochastic-rounding randomness.
+//
+// Codes are packed LSB-first: value i occupies bits [i*b, (i+1)*b) of the
+// stream, accumulated into a uint64 and flushed eight bytes at a time, so
+// the hot loop has no per-value division or read-modify-write. Every byte
+// of dst[:PackedSize(len(h))] is overwritten, so dst may hold stale data
+// (e.g. a pooled buffer).
 func QuantizeRow(h []float32, b BitWidth, dst []byte, rng *tensor.RNG) RowMeta {
 	mn, mx := tensor.MinMax(h)
 	levels := float32(b.Levels())
 	scale := (mx - mn) / levels
 	meta := RowMeta{Zero: mn, Scale: scale}
-	for i := range dst[:b.PackedSize(len(h))] {
-		dst[i] = 0
-	}
+	packed := b.PackedSize(len(h))
 	if scale == 0 {
 		// Constant row: all codes zero; de-quantization returns Zero.
+		for i := range dst[:packed] {
+			dst[i] = 0
+		}
 		return meta
 	}
 	inv := 1 / scale
-	vp := b.ValuesPerByte()
 	shift := uint(b)
-	for i, v := range h {
-		t := (v - mn) * inv
-		code := stochasticRound(t, rng)
-		if code > b.Levels() {
-			code = b.Levels()
+	maxCode := b.Levels()
+	perWord := 64 / int(b)
+	i, o, n := 0, 0, len(h)
+	for ; n-i >= perWord; i += perWord {
+		var word uint64
+		pos := uint(0)
+		for _, v := range h[i : i+perWord] {
+			t := (v - mn) * inv
+			code := stochasticRound(t, rng)
+			if code > maxCode {
+				code = maxCode
+			}
+			word |= uint64(code) << pos
+			pos += shift
 		}
-		byteIdx := i / vp
-		slot := uint(i%vp) * shift
-		dst[byteIdx] |= byte(code << slot)
+		binary.LittleEndian.PutUint64(dst[o:], word)
+		o += 8
+	}
+	if i < n {
+		var word uint64
+		pos := uint(0)
+		for _, v := range h[i:n] {
+			t := (v - mn) * inv
+			code := stochasticRound(t, rng)
+			if code > maxCode {
+				code = maxCode
+			}
+			word |= uint64(code) << pos
+			pos += shift
+		}
+		for ; o < packed; o++ {
+			dst[o] = byte(word)
+			word >>= 8
+		}
 	}
 	return meta
 }
@@ -124,15 +155,71 @@ func stochasticRound(t float32, rng *tensor.RNG) uint32 {
 	return c
 }
 
-// DequantizeRow recovers dim float32 values from packed codes.
+// DequantizeRow recovers dim float32 values from packed codes, reading the
+// stream a uint64 word at a time (mirror of QuantizeRow's layout).
 func DequantizeRow(src []byte, meta RowMeta, b BitWidth, out []float32) {
-	vp := b.ValuesPerByte()
-	mask := byte(b.Levels())
+	mask := uint64(b.Levels())
 	shift := uint(b)
-	for i := range out {
-		code := (src[i/vp] >> (uint(i%vp) * shift)) & mask
-		out[i] = float32(code)*meta.Scale + meta.Zero
+	scale, zero := meta.Scale, meta.Zero
+	perWord := 64 / int(b)
+	i, o, n := 0, 0, len(out)
+	for ; n-i >= perWord; i += perWord {
+		word := binary.LittleEndian.Uint64(src[o:])
+		o += 8
+		for j := 0; j < perWord; j++ {
+			out[i+j] = float32(word&mask)*scale + zero
+			word >>= shift
+		}
 	}
+	if i < n {
+		var word uint64
+		for k := b.PackedSize(n) - 1; k >= o; k-- {
+			word = word<<8 | uint64(src[k])
+		}
+		for ; i < n; i++ {
+			out[i] = float32(word&mask)*scale + zero
+			word >>= shift
+		}
+	}
+}
+
+// Grow extends dst by n bytes and returns the extended slice, reusing
+// capacity when available. The added bytes are NOT zeroed — callers (the
+// Append* encoders) overwrite every byte they claim, which is what lets
+// pooled buffers be reused without scrubbing.
+func Grow(dst []byte, n int) []byte {
+	l := len(dst)
+	if cap(dst)-l >= n {
+		return dst[:l+n]
+	}
+	out := make([]byte, l+n, (l+n)*2)
+	copy(out, dst)
+	return out
+}
+
+// AppendQuantizedRows appends the QuantizeRows stream for the selected rows
+// of x (all rows if idx is nil) to dst and returns the extended slice. The
+// caller owns dst and may reuse it across calls; every appended byte is
+// overwritten, so a dirty pooled buffer is a valid dst.
+func AppendQuantizedRows(dst []byte, x *tensor.Matrix, idx []int32, b BitWidth, rng *tensor.RNG) []byte {
+	rows := x.Rows
+	if idx != nil {
+		rows = len(idx)
+	}
+	packed := b.PackedSize(x.Cols)
+	off := len(dst)
+	dst = Grow(dst, WireSize(rows, x.Cols, b))
+	for i := 0; i < rows; i++ {
+		r := i
+		if idx != nil {
+			r = int(idx[i])
+		}
+		meta := QuantizeRow(x.Row(r), b, dst[off+headerBytes:off+headerBytes+packed], rng)
+		binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(meta.Zero))
+		binary.LittleEndian.PutUint32(dst[off+4:], math.Float32bits(meta.Scale))
+		off += headerBytes + packed
+	}
+	return dst
 }
 
 // QuantizeRows encodes the given rows of x (selected by idx; all rows if
@@ -141,26 +228,14 @@ func DequantizeRow(src []byte, meta RowMeta, b BitWidth, out []float32) {
 //	for each row: [Zero float32][Scale float32][packed codes]
 //
 // The stream layout is fixed given (rows, dim, b), so the receiver needs
-// only those three to decode.
+// only those three to decode. Allocates a fresh exact-size buffer; hot
+// paths should use AppendQuantizedRows with a reused buffer instead.
 func QuantizeRows(x *tensor.Matrix, idx []int32, b BitWidth, rng *tensor.RNG) []byte {
 	rows := x.Rows
 	if idx != nil {
 		rows = len(idx)
 	}
-	out := make([]byte, WireSize(rows, x.Cols, b))
-	off := 0
-	packed := b.PackedSize(x.Cols)
-	for i := 0; i < rows; i++ {
-		r := i
-		if idx != nil {
-			r = int(idx[i])
-		}
-		meta := QuantizeRow(x.Row(r), b, out[off+headerBytes:off+headerBytes+packed], rng)
-		binary.LittleEndian.PutUint32(out[off:], math.Float32bits(meta.Zero))
-		binary.LittleEndian.PutUint32(out[off+4:], math.Float32bits(meta.Scale))
-		off += headerBytes + packed
-	}
-	return out
+	return AppendQuantizedRows(make([]byte, 0, WireSize(rows, x.Cols, b)), x, idx, b, rng)
 }
 
 // DequantizeRows decodes a stream produced by QuantizeRows into dst rows

@@ -1,0 +1,8 @@
+//go:build race
+
+package quant
+
+// raceEnabled gates exact allocation-count assertions: the race detector
+// instruments the allocator, so counts differ under -race while the code
+// paths themselves still run.
+const raceEnabled = true

@@ -82,6 +82,18 @@ func mustSameShape(op string, a, b *Matrix) {
 	}
 }
 
+// parallelizable reports whether parallelRows would actually fan out for
+// this many rows. Kernels check it BEFORE building their closure: a
+// closure passed to parallelRows always heap-escapes (the go statement
+// leaks it), so the sequential path must call the range body directly to
+// stay allocation-free.
+func parallelizable(rows int) bool {
+	// Below 256 rows the goroutine spawn (one closure + stack per worker,
+	// every call) costs more than the row loop it splits; real-dataset
+	// shapes are thousands of rows, well past the gate.
+	return runtime.GOMAXPROCS(0) > 1 && rows >= 256
+}
+
 // parallelRows runs fn over [0, rows) split into contiguous chunks, one per
 // worker. fn must only touch its own row range.
 func parallelRows(rows int, fn func(lo, hi int)) {
@@ -89,7 +101,7 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	if workers > rows {
 		workers = rows
 	}
-	if workers <= 1 || rows < 64 {
+	if workers <= 1 || !parallelizable(rows) {
 		fn(0, rows)
 		return
 	}
@@ -124,24 +136,30 @@ func MatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
+	if !parallelizable(a.Rows) {
+		matMulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulRange(out, a, b, lo, hi) })
+}
+
+func matMulRange(out, a, b *Matrix, lo, hi int) {
 	n := b.Cols
-	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*n : (i+1)*n]
-			for j := range orow {
-				orow[j] = 0
-			}
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			// ikj loop order: stream through b rows for cache locality.
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*n : (k+1)*n]
-				axpy(orow, brow, av)
-			}
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
 		}
-	})
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		// ikj loop order: stream through b rows for cache locality.
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			axpy(orow, brow, av)
+		}
+	}
 }
 
 // axpy computes dst += alpha * src with 4-way unrolling.
@@ -161,42 +179,72 @@ func axpy(dst, src []float32, alpha float32) {
 
 // MatMulT returns a × bᵀ (shapes m×k and n×k → m×n).
 func MatMulT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes out = a × bᵀ, overwriting out.
+func MatMulTInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic("tensor: MatMulTInto shape mismatch")
+	}
+	if !parallelizable(a.Rows) {
+		matMulTRange(out, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTRange(out, a, b, lo, hi) })
+}
+
+func matMulTRange(out, a, b *Matrix, lo, hi int) {
 	k := a.Cols
-	parallelRows(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-			for j := 0; j < b.Rows; j++ {
-				orow[j] = dot(arow, b.Data[j*k:(j+1)*k])
-			}
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = dot(arow, b.Data[j*k:(j+1)*k])
 		}
-	})
-	return out
+	}
 }
 
 // TMatMul returns aᵀ × b (shapes k×m and k×n → m×n).
 func TMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	TMatMulInto(out, a, b)
+	return out
+}
+
+// TMatMulInto computes out = aᵀ × b, overwriting out (zeroed first, since
+// the kernel accumulates).
+func TMatMulInto(out, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: TMatMulInto shape mismatch")
+	}
+	out.Zero()
+	if !parallelizable(a.Cols) {
+		tMatMulRange(out, a, b, 0, a.Cols)
+		return
+	}
 	// Split over columns of a (rows of the output) so goroutines stay disjoint.
-	parallelRows(a.Cols, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for i := lo; i < hi; i++ {
-				if av := arow[i]; av != 0 {
-					axpy(out.Data[i*b.Cols:(i+1)*b.Cols], brow, av)
-				}
+	parallelRows(a.Cols, func(lo, hi int) { tMatMulRange(out, a, b, lo, hi) })
+}
+
+func tMatMulRange(out, a, b *Matrix, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i := lo; i < hi; i++ {
+			if av := arow[i]; av != 0 {
+				axpy(out.Data[i*b.Cols:(i+1)*b.Cols], brow, av)
 			}
 		}
-	})
-	return out
+	}
 }
 
 func dot(a, b []float32) float32 {
