@@ -237,6 +237,40 @@ func BenchmarkEpochTransports(b *testing.B) {
 	})
 }
 
+// BenchmarkEpochChaos measures what deterministic fault injection costs a
+// training run: the same 4-epoch job fault-free and under each fault
+// family (straggler slowdowns, transient retries, crash + checkpoint
+// recovery). Faults charge simulated time, not real time, so the gap over
+// the clean sub-benchmark is the real-time price of the fault wrapper and
+// the crash path's checkpoint/restore/replay — the number the chaos gate
+// keeps bounded.
+func BenchmarkEpochChaos(b *testing.B) {
+	cases := []struct {
+		name string
+		spec adaqp.FaultSpec
+	}{
+		{"clean", adaqp.FaultSpec{}},
+		{"stragglers", adaqp.FaultSpec{Seed: 3, Stragglers: 2, SlowFactor: 3, LinkFactor: 4}},
+		{"transient", adaqp.FaultSpec{Seed: 9, FailRate: 0.3, MaxRetries: 2, Backoff: 0.01}},
+		{"crash", adaqp.FaultSpec{Seed: 5, CrashEpoch: 2, RestartPenalty: 5}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := []adaqp.Option{adaqp.WithMethod(adaqp.Vanilla)}
+			if tc.spec.Enabled() {
+				opts = append(opts, adaqp.WithFaultPlan(tc.spec))
+			}
+			eng := benchEngine(b, 4, opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSchedulerThroughput measures the serving layer: 120 small
 // fixed-seed sessions submitted by 10 concurrent clients (with back-off on
 // queue-full rejections) through a 4-worker Scheduler. Beyond ns/op (the

@@ -10,6 +10,7 @@
 //	adaqp -dataset tiny -method vanilla -codec topk -density 0.05
 //	adaqp -dataset tiny -method vanilla -codec delta -keyframe 20
 //	adaqp -dataset tiny -method sancus -transport sharded-async -staleness 8 -workers 4
+//	adaqp -dataset tiny -method adaqp -chaos-stragglers 1 -chaos-slow 4 -chaos-crash-epoch 20
 //
 // The -method, -codec, -transport and -dataset usage strings list whatever
 // is currently registered, so custom registrations show up automatically.
@@ -50,6 +51,16 @@ func main() {
 		keyframe = flag.Int("keyframe", 10, "full-precision keyframe period (epochs) for -codec delta")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		evalEach = flag.Int("eval-every", 5, "epochs between validation evaluations")
+
+		chaosStragglers = flag.Int("chaos-stragglers", 0, "devices slowed by the fault plan (0 = no stragglers)")
+		chaosSlow       = flag.Float64("chaos-slow", 0, "straggler compute slowdown factor (> 1)")
+		chaosLink       = flag.Float64("chaos-link", 0, "straggler outgoing-link slowdown factor (> 1)")
+		chaosFailRate   = flag.Float64("chaos-fail-rate", 0, "transient collective failure probability in [0,1)")
+		chaosRetries    = flag.Int("chaos-retries", 0, "max retries per failed collective (0 = default 3)")
+		chaosBackoff    = flag.Float64("chaos-backoff", 0, "initial retry backoff in simulated seconds (0 = default)")
+		chaosCrash      = flag.Int("chaos-crash-epoch", 0, "epoch (>= 1) at whose end one device crashes and restarts (0 = never)")
+		chaosRestart    = flag.Float64("chaos-restart", 0, "crash restart penalty in simulated seconds (0 = default)")
+		chaosSeed       = flag.Uint64("chaos-seed", 0, "fault-plan seed (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -85,6 +96,15 @@ func main() {
 		GroupSize: *group, ReassignPeriod: *period,
 		UniformBits: *bits, TopKDensity: *density, DeltaKeyframe: *keyframe,
 		Seed: *seed,
+	}
+	chaos := adaqp.FaultSpec{
+		Seed:       *chaosSeed,
+		Stragglers: *chaosStragglers, SlowFactor: *chaosSlow, LinkFactor: *chaosLink,
+		FailRate: *chaosFailRate, MaxRetries: *chaosRetries, Backoff: *chaosBackoff,
+		CrashEpoch: *chaosCrash, RestartPenalty: *chaosRestart,
+	}
+	if chaos.Enabled() {
+		spec.Chaos = &chaos
 	}
 	ds, err := spec.Load()
 	if err != nil {
@@ -124,6 +144,10 @@ func main() {
 	fmt.Printf("wall-clock       %.2fs (assign %.2fs)\n", res.WallClock, res.AssignTime)
 	fmt.Printf("per-epoch        comm %.4fs  comp %.4fs  quant %.4fs  idle %.4fs\n",
 		per.Comm, per.Comp, per.Quant, per.Idle)
+	if f := res.Faults; f.Any() {
+		fmt.Printf("faults           stragglers %d  retries %d (%.3fs)  crashes %d (%.3fs recovery)\n",
+			f.Stragglers, f.Retries, f.RetryTime, f.Crashes, f.RecoveryTime)
+	}
 }
 
 // methodNames lists the accepted -method values from the Method registry

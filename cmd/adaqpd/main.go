@@ -31,12 +31,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,8 +50,11 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		maxConc      = flag.Int("max-concurrent", 2, "training sessions executing simultaneously")
 		queueDepth   = flag.Int("queue-depth", 16, "admitted sessions that may wait for a worker")
-		retryAfter   = flag.Duration("retry-after", time.Second, "back-off hint on queue-full rejections")
+		retryAfter   = flag.Duration("retry-after", time.Second, "base back-off hint on queue-full rejections (jittered per response)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight sessions on shutdown")
+		retain       = flag.Int("retain-sessions", 256, "terminal session records kept retrievable (negative = unlimited)")
+		retainFor    = flag.Duration("retain-for", time.Hour, "max age of terminal session records (0 = no TTL)")
+		chaosJSON    = flag.String("chaos", "", `default fault plan as FaultSpec JSON, e.g. '{"stragglers":1,"slow_factor":4}'; applied to jobs without a chaos block`)
 	)
 	flag.Parse()
 
@@ -57,12 +62,27 @@ func main() {
 		adaqp.WithMaxConcurrentSessions(*maxConc),
 		adaqp.WithQueueDepth(*queueDepth),
 		adaqp.WithRetryAfter(*retryAfter),
+		adaqp.WithSessionRetention(*retain, *retainFor),
 	)
 	if err != nil {
 		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(sched).handler()}
+	api := newServer(sched)
+	if *chaosJSON != "" {
+		var spec adaqp.FaultSpec
+		dec := json.NewDecoder(strings.NewReader(*chaosJSON))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fatal(fmt.Errorf("-chaos: %w", err))
+		}
+		if err := spec.Validate(); err != nil {
+			fatal(fmt.Errorf("-chaos: %w", err))
+		}
+		api.chaos = &spec
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: api.handler()}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("adaqpd listening on %s (workers %d, queue %d)\n", *addr, *maxConc, *queueDepth)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -17,6 +18,12 @@ import (
 // net/http/httptest.
 type server struct {
 	sched *adaqp.Scheduler
+
+	// chaos, when non-nil, is the daemon-wide default fault plan (-chaos
+	// flag): applied to submitted jobs that carry no chaos block of their
+	// own, so a whole deployment can be soak-tested without touching
+	// clients.
+	chaos *adaqp.FaultSpec
 }
 
 func newServer(sched *adaqp.Scheduler) *server { return &server{sched: sched} }
@@ -27,7 +34,7 @@ func newServer(sched *adaqp.Scheduler) *server { return &server{sched: sched} }
 //	GET    /jobs            list sessions             200
 //	GET    /jobs/{id}       one session's status      200 | 404
 //	GET    /jobs/{id}/result  finished session metrics  200 | 404 | 409
-//	DELETE /jobs/{id}       request cancellation      202 | 404
+//	DELETE /jobs/{id}       cancel, or remove a terminal record  202 | 200 | 404
 //	GET    /healthz         liveness (503 once draining)
 //	GET    /metrics         Prometheus text format
 func (s *server) handler() http.Handler {
@@ -51,6 +58,7 @@ type jobJSON struct {
 	Started    string `json:"started_at,omitempty"`
 	Finished   string `json:"finished_at,omitempty"`
 	Error      string `json:"error,omitempty"`
+	Removed    bool   `json:"removed,omitempty"`
 }
 
 // resultJSON summarizes a finished run's measurements.
@@ -113,10 +121,14 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
+	if spec.Chaos == nil && s.chaos != nil {
+		c := *s.chaos
+		spec.Chaos = &c
+	}
 	h, err := s.sched.SubmitSpec(spec)
 	switch {
 	case errors.Is(err, adaqp.ErrQueueFull):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.sched.RetryAfter()))
+		w.Header().Set("Retry-After", retryAfterJittered(s.sched.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, "session queue full, retry later")
 		return
 	case errors.Is(err, adaqp.ErrDraining):
@@ -138,6 +150,18 @@ func retryAfterSeconds(d time.Duration) string {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// retryAfterJittered spreads queue-full back-off over [base, 2·base]
+// seconds: every client of a full queue gets the same 429 at the same
+// moment, and an unjittered hint would march them all back in lockstep to
+// collide again.
+func retryAfterJittered(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs + rand.IntN(secs+1))
 }
 
 func (s *server) list(w http.ResponseWriter, r *http.Request) {
@@ -195,10 +219,24 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// cancel handles DELETE /jobs/{id}: a live session gets a cancellation
+// request (202, stops between epochs), a terminal one has its record
+// removed immediately (200) instead of waiting for retention eviction.
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.lookup(w, r)
 	if !ok {
 		return
+	}
+	if h.Status().Terminal() {
+		doc := sessionJSON(h)
+		if known, err := s.sched.Remove(h.ID()); known && err == nil {
+			doc.Removed = true
+			writeJSON(w, http.StatusOK, doc)
+			return
+		}
+		// Terminal status but the finish is not recorded yet (the worker
+		// is mid-bookkeeping) — fall through to the cancel path; a later
+		// DELETE can remove the record.
 	}
 	h.Cancel()
 	writeJSON(w, http.StatusAccepted, sessionJSON(h))
@@ -230,4 +268,14 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	write("adaqpd_sessions_rejected_total", "counter", "Submissions rejected by admission control.", c.Rejected)
 	write("adaqpd_queue_depth", "gauge", "Sessions waiting for a worker slot.", int64(c.QueueDepth))
 	write("adaqpd_sessions_running", "gauge", "Sessions currently training.", int64(c.Running))
+
+	f := s.sched.FaultTotals()
+	writef := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	write("adaqpd_fault_stragglers_total", "counter", "Straggler devices injected across completed sessions.", int64(f.Stragglers))
+	write("adaqpd_fault_retries_total", "counter", "Collective retries after injected transient failures.", f.Retries)
+	writef("adaqpd_fault_retry_seconds_total", "Simulated seconds spent on fault retries and backoff.", float64(f.RetryTime))
+	write("adaqpd_fault_crashes_total", "counter", "Injected device crashes recovered from checkpoints.", f.Crashes)
+	writef("adaqpd_fault_recovery_seconds_total", "Simulated seconds of crash downtime and recovery.", float64(f.RecoveryTime))
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -170,8 +171,10 @@ func TestQueueFullReturns429WithRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "3" {
-		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	// The hint is jittered over [base, 2·base] so herds of rejected
+	// clients don't retry in lockstep.
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 3 || secs > 6 {
+		t.Fatalf("Retry-After = %q, want an integer in [3, 6]", resp.Header.Get("Retry-After"))
 	}
 
 	// DELETE both; the canceled sessions report the typed cancellation.

@@ -1,0 +1,110 @@
+// Straggler fault-injection demo: the same SANCUS training run under a
+// deterministic fault plan — one compute-bound straggler (6× slower local
+// work) and one bandwidth-bound straggler (16× slower outgoing links) — on
+// the blocking in-process backend and on sharded-async with a staleness
+// bound. Faults only ever charge simulated time, so every configuration
+// reproduces the bit-identical loss curve; what changes is the schedule.
+//
+// The blocking backend couples the two stragglers: every device sits
+// through the link straggler's full slow broadcast, so the compute
+// straggler pays its own 6× work *plus* the link straggler's wire time,
+// additively, every epoch. The staleness bound decouples them — a receiver
+// leaves a broadcast once its own prefix lands — so the compute straggler
+// stops absorbing the link straggler's delay and the critical path drops
+// from the sum of the two bottlenecks toward their maximum. The run checks
+// exactly that: the async speedup under faults exceeds the fault-free async
+// speedup, at equal loss.
+//
+//	go run ./examples/stragglers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/adaqp"
+)
+
+// commodityModel calibrates a cluster where both bottleneck types bite:
+// slower devices (2 GFLOP/s-class effective compute) on 1.6 Gbps links,
+// with a low per-message overhead so wire time is bandwidth-dominated.
+// The default V100/100 Gbps model would hide both fault families behind
+// its 1 ms per-message software latency on a dataset this small.
+func commodityModel() *adaqp.CostModel {
+	m := adaqp.DefaultCostModel()
+	m.DenseFLOPS = 2e9
+	m.SparseFLOPS = 2e8
+	m.Bandwidth = 2e8
+	m.Latency = 1e-5
+	return m
+}
+
+func main() {
+	ds := adaqp.MustLoadDataset("tiny", 1)
+	fmt.Printf("dataset: %v\n\n", ds)
+
+	const parts = 4
+	chaos := adaqp.FaultSpec{
+		Seed:       5,
+		Stragglers: 2,
+		SlowFactor: 6,  // compute-bound straggler: 6× slower local work
+		LinkFactor: 16, // bandwidth-bound straggler: 16× slower outgoing links
+	}
+
+	// speedup trains blocking vs sharded-async (staleness 16) with the
+	// given extra options and returns both wall-clocks, enforcing the
+	// bit-identical loss curve along the way.
+	base := []adaqp.Option{
+		adaqp.WithParts(parts),
+		adaqp.WithMethod(adaqp.SANCUS),
+		adaqp.WithHidden(32),
+		adaqp.WithEpochs(30),
+		adaqp.WithEvalEvery(0),
+		adaqp.WithCostModel(commodityModel()),
+	}
+	speedup := func(label string, extra ...adaqp.Option) (blocking, async *adaqp.Result) {
+		eng, err := adaqp.New(ds, append(base, extra...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocking, err = eng.Run(adaqp.WithTransport(adaqp.TransportInprocess))
+		if err != nil {
+			log.Fatal(err)
+		}
+		async, err = eng.Run(
+			adaqp.WithTransport(adaqp.TransportShardedAsync),
+			adaqp.WithStalenessBound(16))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bl := blocking.Epochs[len(blocking.Epochs)-1].Loss
+		al := async.Epochs[len(async.Epochs)-1].Loss
+		if bl != al {
+			log.Fatalf("%s: async loss diverged from blocking (%v vs %v): faults must never touch numerics", label, al, bl)
+		}
+		fmt.Printf("%-18s blocking %8.4fs   sharded-async s=16 %8.4fs   speedup %.3fx   loss %.6f\n",
+			label, blocking.WallClock, async.WallClock, float64(blocking.WallClock)/float64(async.WallClock), bl)
+		return blocking, async
+	}
+
+	cleanBlk, cleanAsy := speedup("fault-free")
+	chaosBlk, chaosAsy := speedup("straggler plan", adaqp.WithFaultPlan(chaos))
+
+	if chaosAsy.Faults.Stragglers != 2 {
+		log.Fatalf("fault plan injected %d stragglers, want 2", chaosAsy.Faults.Stragglers)
+	}
+	if chaosAsy.WallClock >= chaosBlk.WallClock {
+		log.Fatalf("staleness did not beat blocking under the straggler plan (%.4fs vs %.4fs)",
+			chaosAsy.WallClock, chaosBlk.WallClock)
+	}
+	cleanUp := float64(cleanBlk.WallClock) / float64(cleanAsy.WallClock)
+	chaosUp := float64(chaosBlk.WallClock) / float64(chaosAsy.WallClock)
+	if chaosUp <= cleanUp {
+		log.Fatalf("async speedup under faults (%.3fx) did not exceed the fault-free speedup (%.3fx): the staleness bound failed to decouple the stragglers", chaosUp, cleanUp)
+	}
+
+	fmt.Printf("\nidentical loss curves in all four runs. fault-free, staleness is worth\n")
+	fmt.Printf("%.3fx; under the straggler plan it is worth %.3fx, because the compute\n", cleanUp, chaosUp)
+	fmt.Printf("straggler no longer sits through the link straggler's slow broadcasts —\n")
+	fmt.Printf("the two bottlenecks overlap instead of adding up.\n")
+}

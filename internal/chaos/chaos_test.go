@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, Stragglers: 2, SlowFactor: 3, LinkFactor: 5,
+		FailRate: 0.3, CrashEpoch: 4}
+	a, err := NewPlan(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec produced different plans:\n%+v\n%+v", a, b)
+	}
+	for op := 0; op < 100; op++ {
+		for r := 0; r < 8; r++ {
+			if a.Failures(r, op) != b.Failures(r, op) {
+				t.Fatalf("failure schedule diverged at rank %d op %d", r, op)
+			}
+		}
+	}
+}
+
+func TestPlanSeedSensitivity(t *testing.T) {
+	spec := Spec{Seed: 1, Stragglers: 2, SlowFactor: 3}
+	a, _ := NewPlan(spec, 16)
+	spec.Seed = 2
+	b, _ := NewPlan(spec, 16)
+	if reflect.DeepEqual(a.Slowdown, b.Slowdown) {
+		t.Fatalf("straggler selection ignored the seed: %v", a.Slowdown)
+	}
+}
+
+func TestPlanStragglerAssignment(t *testing.T) {
+	p, err := NewPlan(Spec{Seed: 7, Stragglers: 2, SlowFactor: 3, LinkFactor: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.StragglerCount(); got != 2 {
+		t.Fatalf("StragglerCount = %d, want 2", got)
+	}
+	// Both factors configured: one compute-bound and one bandwidth-bound
+	// straggler, on distinct ranks.
+	var comp, link int
+	for r := range p.Slowdown {
+		if p.Slowdown[r] > 1 {
+			comp++
+			if p.Slowdown[r] != 3 {
+				t.Fatalf("rank %d slowdown %v, want 3", r, p.Slowdown[r])
+			}
+			if p.LinkSlow[r] > 1 {
+				t.Fatalf("rank %d got both bottleneck types", r)
+			}
+		}
+		if p.LinkSlow[r] > 1 {
+			link++
+			if p.LinkSlow[r] != 5 {
+				t.Fatalf("rank %d link slow %v, want 5", r, p.LinkSlow[r])
+			}
+		}
+	}
+	if comp != 1 || link != 1 {
+		t.Fatalf("got %d compute-bound and %d bandwidth-bound stragglers, want 1 and 1", comp, link)
+	}
+}
+
+func TestPlanStragglersCappedAtParts(t *testing.T) {
+	p, err := NewPlan(Spec{Seed: 3, Stragglers: 10, SlowFactor: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.StragglerCount(); got != 3 {
+		t.Fatalf("StragglerCount = %d, want all 3 devices", got)
+	}
+}
+
+func TestFailuresBoundedAndRateZero(t *testing.T) {
+	p, _ := NewPlan(Spec{Seed: 9, FailRate: 0.9, MaxRetries: 2}, 4)
+	sawFail := false
+	for op := 0; op < 200; op++ {
+		for r := 0; r < 4; r++ {
+			f := p.Failures(r, op)
+			if f < 0 || f > 2 {
+				t.Fatalf("Failures(%d,%d) = %d outside [0, MaxRetries=2]", r, op, f)
+			}
+			if f > 0 {
+				sawFail = true
+			}
+		}
+	}
+	if !sawFail {
+		t.Fatal("fail rate 0.9 produced no failures over 800 draws")
+	}
+	clean, _ := NewPlan(Spec{Seed: 9, Stragglers: 1}, 4)
+	for op := 0; op < 50; op++ {
+		if clean.Failures(0, op) != 0 {
+			t.Fatal("plan without FailRate injected a failure")
+		}
+	}
+}
+
+func TestCrashSite(t *testing.T) {
+	p, err := NewPlan(Spec{Seed: 5, CrashEpoch: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrashRank < 0 || p.CrashRank >= 4 {
+		t.Fatalf("CrashRank %d outside [0,4)", p.CrashRank)
+	}
+	if p.CrashEpoch != 3 {
+		t.Fatalf("CrashEpoch %d, want 3", p.CrashEpoch)
+	}
+	if p.Spec.RestartPenalty != 5 {
+		t.Fatalf("default restart penalty %v, want 5", p.Spec.RestartPenalty)
+	}
+	none, _ := NewPlan(Spec{Seed: 5, Stragglers: 1}, 4)
+	if none.CrashRank != -1 {
+		t.Fatalf("plan without CrashEpoch scheduled a crash at rank %d", none.CrashRank)
+	}
+}
+
+func TestApplyToModel(t *testing.T) {
+	p, err := NewPlan(Spec{Seed: 2, Stragglers: 1, LinkFactor: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := -1
+	for r, f := range p.LinkSlow {
+		if f > 1 {
+			slow = r
+		}
+	}
+	if slow < 0 {
+		t.Fatal("no link straggler materialized")
+	}
+	base := timing.Default()
+	derived := p.ApplyToModel(nil)
+	if derived == nil {
+		t.Fatal("ApplyToModel(nil) returned nil with a link straggler present")
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			want := base.Theta(s, d)
+			if s == slow {
+				want *= 4
+			}
+			if got := derived.Theta(s, d); got != want {
+				t.Fatalf("theta(%d,%d) = %v, want %v", s, d, got, want)
+			}
+		}
+	}
+	// The base model must be untouched, and a link-free plan must return
+	// its input unchanged (identity matters for clock parity).
+	if base.PairTheta != nil {
+		t.Fatal("ApplyToModel mutated its input model")
+	}
+	compOnly, _ := NewPlan(Spec{Seed: 2, Stragglers: 1, SlowFactor: 3}, 4)
+	if got := compOnly.ApplyToModel(base); got != base {
+		t.Fatal("plan without link stragglers must return the model unchanged")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Stragglers: -1},
+		{Stragglers: 1, SlowFactor: 0.5},
+		{Stragglers: 1, LinkFactor: 0.5},
+		{FailRate: -0.1},
+		{FailRate: 1},
+		{FailRate: 0.5, MaxRetries: -1},
+		{FailRate: 0.5, Backoff: -1},
+		{CrashEpoch: -1},
+		{CrashEpoch: 1, RestartPenalty: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s)
+		}
+	}
+	var zero Spec
+	if zero.Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero spec must validate: %v", err)
+	}
+	if _, err := NewPlan(Spec{}, 0); err == nil {
+		t.Fatal("NewPlan accepted parts = 0")
+	}
+}

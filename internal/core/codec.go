@@ -160,6 +160,21 @@ type StatefulCodec interface {
 	Stateful() bool
 }
 
+// CodecCheckpointer is implemented by stateful codecs whose cross-epoch
+// state can be snapshotted at an epoch boundary and restored, enabling the
+// trainer's crash/restart recovery under a fault plan: every device
+// checkpoints before the doomed epoch and rolls back to replay it bit for
+// bit. Stateless codecs need no checkpoint; a stateful codec without this
+// interface is rejected when the fault plan schedules a crash.
+type CodecCheckpointer interface {
+	MessageCodec
+	// CheckpointState deep-copies this instance's cross-epoch state.
+	CheckpointState() any
+	// RestoreCheckpoint restores state captured by CheckpointState on
+	// this same instance.
+	RestoreCheckpoint(state any)
+}
+
 // LossyCodec is implemented by codecs whose decoded epoch-0 forward
 // messages differ from the sent rows. Codecs that do not implement it
 // must decode epoch-0 forward messages exactly.

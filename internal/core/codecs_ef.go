@@ -162,6 +162,47 @@ func (c *efQuantCodec) Backward(env *ExchangeEnv, epoch, l int, dxFull, dxLocal 
 
 func (c *efQuantCodec) EpochEnd(*ExchangeEnv, int) error { return nil }
 
+// efCheckpoint is a deep copy of the carried residuals, keyed by the same
+// [layer][peer] layout as the live state.
+type efCheckpoint struct {
+	fwd, bwd [][][]float32
+}
+
+func copyResid(resid [][]*tensor.Matrix) [][][]float32 {
+	out := make([][][]float32, len(resid))
+	for l, row := range resid {
+		out[l] = make([][]float32, len(row))
+		for q, m := range row {
+			if m != nil {
+				out[l][q] = append([]float32(nil), m.Data...)
+			}
+		}
+	}
+	return out
+}
+
+func restoreResid(resid [][]*tensor.Matrix, saved [][][]float32) {
+	for l, row := range resid {
+		for q, m := range row {
+			if m != nil {
+				copy(m.Data, saved[l][q])
+			}
+		}
+	}
+}
+
+// CheckpointState/RestoreCheckpoint make ef-quant crash-recoverable: the
+// residuals are the only cross-epoch state, so a deep copy suffices.
+func (c *efQuantCodec) CheckpointState() any {
+	return &efCheckpoint{fwd: copyResid(c.fwdResid), bwd: copyResid(c.bwdResid)}
+}
+
+func (c *efQuantCodec) RestoreCheckpoint(state any) {
+	cp := state.(*efCheckpoint)
+	restoreResid(c.fwdResid, cp.fwd)
+	restoreResid(c.bwdResid, cp.bwd)
+}
+
 // ForwardErrorBound: at epoch 0 the residual is zero, so the decode error
 // is plain uniform quantization — one level S = (mx−mn)/(2^b−1).
 func (c *efQuantCodec) ForwardErrorBound(mn, mx float32, _ int) float64 {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/quant"
 )
@@ -181,6 +182,26 @@ type Config struct {
 	// lockstep semantics, bit-identical to the in-process cluster.
 	TransportStaleness int
 
+	// transportFactory, when non-nil, builds the run's runtime directly,
+	// bypassing the registry lookup. It is the transport-conformance
+	// harness's seam, mirroring codecFactory: chaos-mode conformance
+	// trains candidate backends — including deliberately broken stubs —
+	// without registering them.
+	transportFactory RuntimeFactory
+
+	// isolateArena makes the run use throwaway scratch arenas instead of
+	// the process-wide recycled pool. Conformance training runs over
+	// candidate transports set it: a backend that violates buffer
+	// ownership would otherwise release aliased buffers into the shared
+	// pool and corrupt every later run in the process.
+	isolateArena bool
+
+	// Faults declares the run's injected faults (stragglers, transient
+	// collective failures, crash/restart). The zero value injects
+	// nothing. Faults charge simulated time only, so the loss curve
+	// stays bit-identical to the fault-free run with the same Seed.
+	Faults chaos.Spec
+
 	// EpochHook, when non-nil, receives each epoch's record as training
 	// progresses (called once per epoch, from the rank-0 device goroutine,
 	// after the codec's end-of-epoch protocol). It must not start another
@@ -286,6 +307,11 @@ func (c *Config) validate() error {
 	}
 	if c.TransportStaleness < 0 {
 		return fmt.Errorf("core: transport staleness must be >= 0, got %d", c.TransportStaleness)
+	}
+	if c.Faults.Enabled() {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

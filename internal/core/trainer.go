@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/partition"
@@ -62,17 +63,34 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 			return nil, err
 		}
 	}
-	transportName := cfg.Transport
-	if transportName == "" {
-		transportName = TransportInprocess
-	}
-	runtimeFor, err := LookupTransport(transportName)
-	if err != nil {
-		return nil, err
+	runtimeFor := cfg.transportFactory
+	if runtimeFor == nil {
+		transportName := cfg.Transport
+		if transportName == "" {
+			transportName = TransportInprocess
+		}
+		var err error
+		runtimeFor, err = LookupTransport(transportName)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	ds := dep.Dataset
 	parts := dep.Assignment.Parts
+	// Fault injection wraps the runtime centrally — the backend stays
+	// fault-agnostic, and both backends derive their cost model (slowed
+	// straggler links) through the same path.
+	var plan *chaos.FaultPlan
+	var fstats *faultStats
+	if cfg.Faults.Enabled() {
+		p, err := chaos.NewPlan(cfg.Faults, parts)
+		if err != nil {
+			return nil, err
+		}
+		plan, fstats = p, &faultStats{}
+		runtimeFor = faultFactory(runtimeFor, plan, fstats)
+	}
 	rt := runtimeFor(TransportSpec{
 		Parts:     parts,
 		Model:     model,
@@ -113,7 +131,7 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 	}
 
 	shared := dep.runShared()
-	err = rt.Run(cfg.Seed, func(dev Transport) error {
+	err := rt.Run(cfg.Seed, func(dev Transport) error {
 		codec, err := factory(&CodecEnv{
 			Cfg:    &cfg,
 			Locals: dep.Locals,
@@ -132,14 +150,22 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 			denom:     denom,
 			posWeight: posWeight,
 			codec:     codec,
+			plan:      plan,
+			fstats:    fstats,
 		}
 		w.ld = shardData(ds, w.lg)
 		w.model = newDeviceModel(&cfg, w.lg, ds.Features.Cols, ds.NumClasses, dev.Model())
 		w.opt = nn.NewAdam(cfg.LR)
-		w.env = &ExchangeEnv{Dev: dev, Graph: w.lg, Cfg: &cfg, Scratch: NewPooledArena(), costs: w.model.costs}
-		// Hand the arena — freelists intact — to the next run in this
-		// process, so repeated runs stay warm without re-allocating.
-		defer w.env.Scratch.Recycle()
+		scratch := NewPooledArena()
+		if cfg.isolateArena {
+			scratch = NewArena()
+		}
+		w.env = &ExchangeEnv{Dev: dev, Graph: w.lg, Cfg: &cfg, Scratch: scratch, costs: w.model.costs}
+		if !cfg.isolateArena {
+			// Hand the arena — freelists intact — to the next run in this
+			// process, so repeated runs stay warm without re-allocating.
+			defer w.env.Scratch.Recycle()
+		}
 		return w.run()
 	})
 	if err != nil {
@@ -156,6 +182,16 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 		}
 	}
 	res.BytesMoved = rt.BytesMoved()
+	if plan != nil {
+		retries, retryTime, crashes, recoveryTime := fstats.snapshot()
+		res.Faults = metrics.FaultStats{
+			Stragglers:   plan.StragglerCount(),
+			Retries:      retries,
+			RetryTime:    retryTime,
+			Crashes:      crashes,
+			RecoveryTime: recoveryTime,
+		}
+	}
 	return res, nil
 }
 
@@ -176,6 +212,12 @@ type worker struct {
 	codec MessageCodec
 	env   *ExchangeEnv
 
+	// plan/fstats are non-nil only when the run injects faults; the
+	// worker's part is the crash/restart protocol (crashAndRecover), the
+	// rest lives in the transport wrapper (chaos_transport.go).
+	plan   *chaos.FaultPlan
+	fstats *faultStats
+
 	// Steady-state scratch reused across epochs (shapes are static per
 	// device): per-layer xFull/dxLocal blocks, the flat grads list handed
 	// to AllReduceSum, and the cached parameter list.
@@ -186,9 +228,17 @@ type worker struct {
 
 func (w *worker) run() error {
 	cfg := w.cfg
+	if err := w.checkCrashSupport(); err != nil {
+		return err
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if canceled := w.pollCancel(); canceled {
 			return ErrCanceled
+		}
+		if w.plan != nil && w.plan.CrashRank >= 0 && epoch == w.plan.CrashEpoch {
+			if err := w.crashAndRecover(epoch); err != nil {
+				return err
+			}
 		}
 		loss, err := w.trainEpoch(epoch)
 		if err != nil {
@@ -234,6 +284,82 @@ func (w *worker) run() error {
 		w.res.FinalVal = val
 	}
 	return nil
+}
+
+// checkCrashSupport rejects, symmetrically on all ranks, fault plans that
+// schedule a crash while the codec carries cross-epoch state it cannot
+// checkpoint — restarting such a codec would silently diverge from the
+// fault-free run instead of replaying it bit for bit.
+func (w *worker) checkCrashSupport() error {
+	if w.plan == nil || w.plan.CrashRank < 0 || w.plan.CrashEpoch >= w.cfg.Epochs {
+		return nil
+	}
+	if sc, ok := w.codec.(StatefulCodec); ok && sc.Stateful() {
+		if _, ok := w.codec.(CodecCheckpointer); !ok {
+			return fmt.Errorf("core: codec %q carries cross-epoch state without checkpoint support; it cannot recover from the fault plan's crash at epoch %d", w.codec.Name(), w.plan.CrashEpoch)
+		}
+	}
+	return nil
+}
+
+// crashAndRecover simulates the plan's device crash during this epoch:
+// every device checkpoints its epoch-boundary state, runs the doomed
+// attempt whose results the crash destroys, rolls back to the checkpoint,
+// and the crashed rank pays the restart downtime before the cluster
+// resynchronizes. The caller then re-runs the epoch — the replay is
+// bit-identical to the attempt (same parameters, optimizer moments and RNG
+// stream), so only the simulated clocks grow.
+func (w *worker) crashAndRecover(epoch int) error {
+	cp := w.checkpoint()
+	if _, err := w.trainEpoch(epoch); err != nil {
+		return fmt.Errorf("rank %d doomed epoch %d: %w", w.dev.Rank(), epoch, err)
+	}
+	w.restore(cp)
+	if w.dev.Rank() == w.plan.CrashRank {
+		penalty := timing.Seconds(w.plan.Spec.RestartPenalty)
+		w.dev.Clock().Advance(timing.Idle, penalty)
+		w.fstats.addCrash(penalty)
+	}
+	// Restart rendezvous: survivors absorb the crashed device's downtime
+	// as Idle, exactly like any straggler wait.
+	w.dev.Barrier()
+	return nil
+}
+
+// deviceCheckpoint is one device's epoch-boundary training state: model
+// parameters with their optimizer moments, the optimizer step count, the
+// RNG stream position and — for checkpoint-capable stateful codecs — the
+// codec's cross-epoch state.
+type deviceCheckpoint struct {
+	params   []nn.ParamCheckpoint
+	step     int
+	rng      tensor.RNGState
+	codec    any
+	hasCodec bool
+}
+
+func (w *worker) checkpoint() *deviceCheckpoint {
+	cp := &deviceCheckpoint{step: w.opt.StepCount(), rng: w.dev.Rand().State()}
+	for _, p := range w.model.params() {
+		cp.params = append(cp.params, p.Checkpoint())
+	}
+	if c, ok := w.codec.(CodecCheckpointer); ok {
+		cp.codec, cp.hasCodec = c.CheckpointState(), true
+	}
+	return cp
+}
+
+// restore rolls the device back to cp. Param.Restore copies data in place,
+// so cached matrix pointers (w.grads, scratch blocks) stay valid.
+func (w *worker) restore(cp *deviceCheckpoint) {
+	for i, p := range w.model.params() {
+		p.Restore(cp.params[i])
+	}
+	w.opt.SetStepCount(cp.step)
+	w.dev.Rand().SetState(cp.rng)
+	if cp.hasCodec {
+		w.codec.(CodecCheckpointer).RestoreCheckpoint(cp.codec)
+	}
 }
 
 // trainEpoch runs one synchronous training epoch and returns the global

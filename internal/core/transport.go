@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/tensor"
 	"repro/internal/timing"
@@ -85,6 +86,13 @@ type TransportSpec struct {
 	// of the slowest straggler on async backends (0 = lockstep, matching
 	// the in-process reference bit for bit).
 	Staleness int
+	// Faults is the run's materialized fault plan, or nil for a clean
+	// run. Fault injection is applied centrally (the runtime is wrapped
+	// so every device's charged collectives pass through the fault
+	// schedule) and Model already reflects the plan's slowed links;
+	// backends need not interpret the plan, but custom factories may
+	// inspect it.
+	Faults *chaos.FaultPlan
 }
 
 // RuntimeFactory builds a Runtime for one training run.

@@ -89,6 +89,33 @@ type RunResult struct {
 	PerDevice []Breakdown
 	// BytesMoved[src][dst] counts payload bytes over the run.
 	BytesMoved [][]int64
+	// Faults summarizes the run's injected faults and recovery work
+	// (zero value when the run had no fault plan).
+	Faults FaultStats
+}
+
+// FaultStats counts injected faults and what recovering from them cost.
+// Faults charge simulated time only, so a faulted run's loss curve stays
+// bit-identical to the fault-free run — these counters plus the inflated
+// clocks are the whole observable difference.
+type FaultStats struct {
+	// Stragglers is how many devices the fault plan slowed down.
+	Stragglers int
+	// Retries counts transient collective failures that were retried.
+	Retries int64
+	// RetryTime is the simulated time those retries cost (re-transfers
+	// charged to Comm plus exponential backoff charged to Idle).
+	RetryTime timing.Seconds
+	// Crashes counts device crash/restart events.
+	Crashes int64
+	// RecoveryTime is the simulated restart downtime crashed devices paid
+	// (the replayed epochs' cost shows up in WallClock, not here).
+	RecoveryTime timing.Seconds
+}
+
+// Any reports whether any fault was injected or any device slowed.
+func (f FaultStats) Any() bool {
+	return f.Stragglers > 0 || f.Retries > 0 || f.Crashes > 0
 }
 
 // Throughput returns steady-state epochs per simulated second, excluding

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitTerminalRecorded waits until the session's finish timestamp lands
+// (Status alone can report Canceled before the worker records the finish).
+func waitTerminalRecorded(t *testing.T, sess *Session) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, _, fin := sess.Times(); !fin.IsZero() {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("session %s never recorded a finish time", sess.ID())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestRetentionBoundsTerminalSessions(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 8, MaxRetained: 2})
+	defer s.Drain(context.Background())
+
+	var finished []*Session
+	for i := 0; i < 4; i++ {
+		sess, err := s.Submit(instantRun(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		finished = append(finished, sess)
+	}
+	// A fifth submission triggers eviction of the oldest terminal records.
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := s.Submit(blockingRun(nil, release)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Session(finished[0].ID()); ok {
+		t.Errorf("oldest terminal session %s survived a MaxRetained=2 bound", finished[0].ID())
+	}
+	if _, ok := s.Session(finished[3].ID()); !ok {
+		t.Errorf("newest terminal session %s was evicted", finished[3].ID())
+	}
+	if got := len(s.Sessions()); got != 3 {
+		t.Errorf("retained %d sessions, want 2 terminal + 1 running = 3", got)
+	}
+}
+
+func TestRetentionNeverEvictsLiveSessions(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 8, MaxRetained: -1, RetainFor: time.Nanosecond})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	running, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(blockingRun(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // far past the TTL
+	if _, ok := s.Session(running.ID()); !ok {
+		t.Error("running session evicted by TTL")
+	}
+	if _, ok := s.Session(queued.ID()); !ok {
+		t.Error("queued session evicted by TTL")
+	}
+	close(release)
+	if _, err := running.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := queued.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain(context.Background())
+}
+
+func TestRetentionTTLEvictsOnAccess(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 4, RetainFor: 5 * time.Millisecond})
+	defer s.Drain(context.Background())
+	sess, err := s.Submit(instantRun("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Session(sess.ID()); !ok {
+		t.Fatal("terminal session gone before its TTL")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := s.Session(sess.ID()); ok {
+		t.Error("terminal session survived past RetainFor")
+	}
+	if got := len(s.Sessions()); got != 0 {
+		t.Errorf("%d sessions listed after TTL expiry, want 0", got)
+	}
+}
+
+func TestRemoveTerminalOnly(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 4})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	running, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if known, err := s.Remove(running.ID()); !known || !errors.Is(err, ErrNotTerminal) {
+		t.Fatalf("Remove(running) = (%v, %v), want (true, ErrNotTerminal)", known, err)
+	}
+	close(release)
+	if _, err := running.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminalRecorded(t, running)
+	if known, err := s.Remove(running.ID()); !known || err != nil {
+		t.Fatalf("Remove(done) = (%v, %v), want (true, nil)", known, err)
+	}
+	if _, ok := s.Session(running.ID()); ok {
+		t.Error("removed session still retrievable")
+	}
+	if known, _ := s.Remove(running.ID()); known {
+		t.Error("second Remove reported the id as known")
+	}
+	s.Drain(context.Background())
+}

@@ -30,6 +30,9 @@ var (
 	// ErrDraining is returned once Drain has begun: in-flight and queued
 	// sessions complete, new ones are rejected.
 	ErrDraining = errors.New("serve: scheduler draining")
+	// ErrNotTerminal is returned by Remove for a session still queued or
+	// running: cancel it first, or wait for it to finish.
+	ErrNotTerminal = errors.New("serve: session not terminal")
 )
 
 // Status is a session's lifecycle state.
@@ -83,6 +86,14 @@ type Options struct {
 	// RetryAfter is the back-off hint attached to queue-full rejections
 	// (<= 0 selects 1s). The scheduler itself never sleeps on it.
 	RetryAfter time.Duration
+	// MaxRetained bounds how many terminal sessions are kept around for
+	// result retrieval; beyond it the oldest terminal sessions are evicted
+	// (0 selects 1024, negative means unlimited). Queued and running
+	// sessions never count against the bound and are never evicted.
+	MaxRetained int
+	// RetainFor additionally evicts terminal sessions this long after
+	// they finished (0 means no TTL).
+	RetainFor time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +105,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.MaxRetained == 0 {
+		o.MaxRetained = 1024
 	}
 	return o
 }
@@ -190,7 +204,89 @@ func (s *Scheduler) Submit(run RunFunc) (*Session, error) {
 	s.sessions[sess.id] = sess
 	s.order = append(s.order, sess.id)
 	s.submitted.Add(1)
+	s.evictLocked(time.Now())
 	return sess, nil
+}
+
+// evictable reports whether the session may be dropped from retention:
+// truly finished (not merely canceled-while-queued, whose worker discard
+// is still pending) and, with a TTL, finished long enough ago.
+func evictable(sess *Session, now time.Time, ttl time.Duration) bool {
+	if !sess.Status().Terminal() {
+		return false
+	}
+	_, _, finished := sess.Times()
+	if finished.IsZero() {
+		return false
+	}
+	return ttl > 0 && now.Sub(finished) >= ttl
+}
+
+// evictLocked enforces the retention policy: first the TTL pass, then the
+// count bound, evicting the oldest terminal sessions (submission order)
+// until at most MaxRetained remain. Callers hold s.mu.
+func (s *Scheduler) evictLocked(now time.Time) {
+	if s.opts.RetainFor > 0 {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if evictable(s.sessions[id], now, s.opts.RetainFor) {
+				delete(s.sessions, id)
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		s.order = kept
+	}
+	if s.opts.MaxRetained < 0 {
+		return
+	}
+	terminal := 0
+	for _, id := range s.order {
+		sess := s.sessions[id]
+		if _, _, finished := sess.Times(); sess.Status().Terminal() && !finished.IsZero() {
+			terminal++
+		}
+	}
+	if terminal <= s.opts.MaxRetained {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		sess := s.sessions[id]
+		_, _, finished := sess.Times()
+		if terminal > s.opts.MaxRetained && sess.Status().Terminal() && !finished.IsZero() {
+			delete(s.sessions, id)
+			terminal--
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// Remove deletes a terminal session from retention, releasing its record
+// immediately instead of waiting for eviction. It reports whether the id
+// was known; removing a queued or running session fails with
+// ErrNotTerminal (cancel it first, then remove once terminal).
+func (s *Scheduler) Remove(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return false, nil
+	}
+	_, _, finished := sess.Times()
+	if !sess.Status().Terminal() || finished.IsZero() {
+		return true, ErrNotTerminal
+	}
+	delete(s.sessions, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true, nil
 }
 
 // execute runs one dequeued session on the calling worker.
@@ -221,18 +317,21 @@ func (s *Scheduler) execute(sess *Session) {
 	}
 }
 
-// Session returns the session with the given id.
+// Session returns the session with the given id. TTL-expired sessions are
+// evicted on access, so a session past RetainFor is no longer found.
 func (s *Scheduler) Session(id string) (*Session, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictLocked(time.Now())
 	sess, ok := s.sessions[id]
 	return sess, ok
 }
 
-// Sessions lists every session in submission order.
+// Sessions lists every retained session in submission order.
 func (s *Scheduler) Sessions() []*Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictLocked(time.Now())
 	out := make([]*Session, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.sessions[id])

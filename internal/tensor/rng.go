@@ -107,6 +107,28 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// RNGState is a snapshot of a generator's full state, including the
+// cached Box-Muller half. Restoring it replays the stream bit for bit —
+// crash-recovery checkpoints rely on that to keep replayed epochs
+// identical to the run they roll back.
+type RNGState struct {
+	S        [4]uint64
+	HasGauss bool
+	Gauss    float64
+}
+
+// State snapshots the generator.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, HasGauss: r.hasGauss, Gauss: r.gauss}
+}
+
+// SetState restores a snapshot taken with State.
+func (r *RNG) SetState(st RNGState) {
+	r.s = st.S
+	r.hasGauss = st.HasGauss
+	r.gauss = st.Gauss
+}
+
 // FillUniform fills m with uniform samples in [lo, hi).
 func (m *Matrix) FillUniform(r *RNG, lo, hi float32) {
 	span := hi - lo

@@ -32,6 +32,7 @@
 package adaqp
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/partition"
@@ -138,7 +139,18 @@ type (
 	Breakdown = metrics.Breakdown
 	// Summary holds mean ± std over repeated runs.
 	Summary = metrics.Summary
+	// FaultStats counts a run's injected faults and recovery work.
+	FaultStats = metrics.FaultStats
 )
+
+// FaultSpec declares deterministic fault injection for a run (see
+// WithFaultPlan): Stragglers devices slowed by SlowFactor (compute) and/or
+// LinkFactor (outgoing links), transient collective failures at FailRate
+// retried up to MaxRetries times with exponential Backoff, and a device
+// crash at CrashEpoch recovered from a checkpoint after RestartPenalty
+// seconds of downtime. The zero value injects nothing; Seed (default 1)
+// drives the schedule.
+type FaultSpec = chaos.Spec
 
 // Summarize aggregates repeated runs of the same configuration.
 func Summarize(runs []*Result) Summary { return metrics.Summarize(runs) }
@@ -241,6 +253,19 @@ type TransportViolation = core.Violation
 // it conforms. Run it against any custom backend before training on it.
 func VerifyTransport(f RuntimeFactory, parts int) []TransportViolation {
 	return core.ConformTransport(f, parts)
+}
+
+// VerifyTransportChaos is VerifyTransport's chaos mode: the collective
+// contract re-verified under a matrix of fault plans (compute stragglers,
+// slowed links, transient failures with retry/backoff, a device crash with
+// checkpoint/restart). It checks that faults never corrupt payloads or
+// buffer ownership, that fault charging matches the wrapped in-process
+// reference clock-for-clock, that retries re-charge time but never bytes,
+// and that a crashed training run replays the doomed epoch bit-identically.
+// Run it — in addition to VerifyTransport — before training on any custom
+// backend that will face fault injection.
+func VerifyTransportChaos(f RuntimeFactory, parts int) []TransportViolation {
+	return core.ConformTransportChaos(f, parts)
 }
 
 // CodecViolation is one conformance failure reported by VerifyCodec.

@@ -44,6 +44,11 @@ type JobSpec struct {
 	DeltaKeyframe  int     `json:"keyframe,omitempty"`
 
 	Seed uint64 `json:"seed,omitempty"`
+
+	// Chaos, when non-nil, injects the declared deterministic faults into
+	// the run (see WithFaultPlan). Fault fields marshal under the "chaos"
+	// key, e.g. {"chaos":{"stragglers":1,"slow_factor":4}}.
+	Chaos *FaultSpec `json:"chaos,omitempty"`
 }
 
 // Load loads the spec's dataset (Scale 0 = 1.0).
@@ -137,6 +142,9 @@ func (j JobSpec) Options() ([]Option, error) {
 	}
 	if j.Seed != 0 {
 		opts = append(opts, WithSeed(j.Seed))
+	}
+	if j.Chaos != nil {
+		opts = append(opts, WithFaultPlan(*j.Chaos))
 	}
 	return opts, nil
 }

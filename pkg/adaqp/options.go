@@ -304,6 +304,22 @@ func WithEvalEvery(n int) Option {
 	}
 }
 
+// WithFaultPlan injects deterministic faults into the run: straggler
+// devices (compute and/or link slowdowns), transient collective failures
+// with bounded retry/backoff, and a device crash with checkpoint/restart
+// recovery. The zero FaultSpec injects nothing. Faults charge simulated
+// time only — the loss curve, accuracies and (crashes aside) the byte
+// ledger stay bit-identical to the fault-free run with the same seed, and
+// the whole fault schedule derives from spec.Seed, so repeated runs and
+// both transport backends see identical faults. Result.Faults reports
+// what was injected.
+func WithFaultPlan(spec FaultSpec) Option {
+	return func(s *settings) error {
+		s.cfg.Faults = spec
+		return nil
+	}
+}
+
 // WithEpochCallback registers fn to receive each epoch's record as
 // training progresses (called once per epoch, after the codec's
 // end-of-epoch protocol). The callback must not start another run on the

@@ -22,6 +22,9 @@ var (
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrDraining: Drain has begun; the scheduler accepts no new work.
 	ErrDraining = serve.ErrDraining
+	// ErrSessionNotTerminal: Remove was called on a session still queued
+	// or running; cancel it first, then remove once terminal.
+	ErrSessionNotTerminal = serve.ErrNotTerminal
 )
 
 // SessionStatus is a scheduled session's lifecycle state.
@@ -81,6 +84,22 @@ func WithRetryAfter(d time.Duration) SchedulerOption {
 	}
 }
 
+// WithSessionRetention bounds how long terminal sessions stay retrievable:
+// at most max records (0 keeps the default 1024, negative means unlimited),
+// each for at most ttl after finishing (0 means no TTL). Queued and
+// running sessions are never evicted. Without a bound a long-lived daemon's
+// session table grows forever.
+func WithSessionRetention(max int, ttl time.Duration) SchedulerOption {
+	return func(o *serve.Options) error {
+		if ttl < 0 {
+			return fmt.Errorf("adaqp: session retention ttl must be >= 0, got %v", ttl)
+		}
+		o.MaxRetained = max
+		o.RetainFor = ttl
+		return nil
+	}
+}
+
 // Scheduler serves many concurrent training sessions from one long-lived
 // process: a bounded worker pool executes them, a bounded queue admits
 // them, and every session is fully isolated — its own Engine, deployment
@@ -97,6 +116,12 @@ type Scheduler struct {
 	// same synthetic graph for every job of a load burst.
 	dsMu    sync.Mutex
 	dsCache map[dsKey]*Dataset
+
+	// faultMu guards faults: fault/recovery counters accumulated across
+	// every completed session (survives session eviction, so the daemon's
+	// metrics stay monotonic).
+	faultMu sync.Mutex
+	faults  FaultStats
 }
 
 type dsKey struct {
@@ -145,7 +170,11 @@ func (sc *Scheduler) Submit(ds *Dataset, opts ...Option) (*SessionHandle, error)
 		if err != nil {
 			return nil, err
 		}
-		return session.RunContext(ctx)
+		res, err := session.RunContext(ctx)
+		if res != nil && res.Faults.Any() {
+			sc.addFaults(res.Faults)
+		}
+		return res, err
 	}
 	sess, err := sc.s.Submit(run)
 	if err != nil {
@@ -211,6 +240,29 @@ func (sc *Scheduler) Sessions() []*SessionHandle {
 // Cancel requests cancellation of the session with the given id and
 // reports whether the id was known (see SessionHandle.Cancel).
 func (sc *Scheduler) Cancel(id string) bool { return sc.s.Cancel(id) }
+
+// Remove deletes a terminal session's record immediately instead of
+// waiting for retention eviction. It reports whether the id was known;
+// removing a queued or running session fails with ErrSessionNotTerminal.
+func (sc *Scheduler) Remove(id string) (bool, error) { return sc.s.Remove(id) }
+
+func (sc *Scheduler) addFaults(f FaultStats) {
+	sc.faultMu.Lock()
+	sc.faults.Stragglers += f.Stragglers
+	sc.faults.Retries += f.Retries
+	sc.faults.RetryTime += f.RetryTime
+	sc.faults.Crashes += f.Crashes
+	sc.faults.RecoveryTime += f.RecoveryTime
+	sc.faultMu.Unlock()
+}
+
+// FaultTotals returns fault/recovery counters accumulated across every
+// completed session (monotonic; unaffected by session eviction).
+func (sc *Scheduler) FaultTotals() FaultStats {
+	sc.faultMu.Lock()
+	defer sc.faultMu.Unlock()
+	return sc.faults
+}
 
 // Drain stops admission (Submit returns ErrDraining) and waits for every
 // queued and running session to finish, or for ctx to expire. Idempotent.

@@ -1,0 +1,133 @@
+package adaqp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFinishRecorded polls until the session's finish timestamp lands
+// (Status flips terminal just before the worker records the finish time,
+// and Remove requires the recorded finish).
+func waitFinishRecorded(t *testing.T, h *SessionHandle) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		if _, _, fin := h.Times(); !fin.IsZero() {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("session %s never recorded a finish time", h.ID())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestSchedulerChaosJobAccumulatesFaultTotals submits a JobSpec carrying a
+// chaos block and requires the scheduler's lifetime fault counters to
+// reflect the run — and to survive the session's removal, which is what
+// keeps daemon metrics monotonic under bounded retention.
+func TestSchedulerChaosJobAccumulatesFaultTotals(t *testing.T) {
+	sched, err := NewScheduler(WithMaxConcurrentSessions(1), WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Drain(context.Background())
+
+	evalEvery := 0
+	spec := JobSpec{
+		Dataset: "tiny", Scale: 0.25,
+		Method: "vanilla", Parts: 2, Epochs: 4, Hidden: 8,
+		EvalEvery: &evalEvery, Seed: 7,
+		Chaos: &FaultSpec{
+			Seed: 3, Stragglers: 1, SlowFactor: 3,
+			FailRate: 0.3, MaxRetries: 2, Backoff: 0.01,
+			CrashEpoch: 2, RestartPenalty: 10,
+		},
+	}
+	h, err := sched.SubmitSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Stragglers != 1 || res.Faults.Crashes != 1 {
+		t.Fatalf("run faults = %+v, want 1 straggler and 1 crash", res.Faults)
+	}
+	if res.Faults.Retries == 0 || res.Faults.RetryTime <= 0 {
+		t.Fatalf("run faults = %+v, want retries charged under FailRate 0.3", res.Faults)
+	}
+
+	totals := sched.FaultTotals()
+	if totals != res.Faults {
+		t.Fatalf("FaultTotals = %+v, want the single run's %+v", totals, res.Faults)
+	}
+
+	// Removing the terminal session must not lose the accumulated totals.
+	waitFinishRecorded(t, h)
+	if known, err := sched.Remove(h.ID()); !known || err != nil {
+		t.Fatalf("Remove(terminal) = (%v, %v), want (true, nil)", known, err)
+	}
+	if _, ok := sched.Session(h.ID()); ok {
+		t.Error("removed session still retrievable")
+	}
+	if got := sched.FaultTotals(); got != totals {
+		t.Fatalf("FaultTotals after Remove = %+v, want unchanged %+v", got, totals)
+	}
+}
+
+// TestSchedulerRetentionAndRemoveSemantics checks the retention bound and
+// the terminal-only Remove contract through the public API.
+func TestSchedulerRetentionAndRemoveSemantics(t *testing.T) {
+	ds := MustLoadDataset("tiny", 0.25)
+	sched, err := NewScheduler(
+		WithMaxConcurrentSessions(1), WithQueueDepth(4),
+		WithSessionRetention(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Drain(context.Background())
+
+	short := []Option{
+		WithParts(2), WithMethod(Vanilla), WithEpochs(1),
+		WithHidden(8), WithEvalEvery(0),
+	}
+	var handles []*SessionHandle
+	for i := 0; i < 3; i++ {
+		h, err := sched.Submit(ds, short...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		waitFinishRecorded(t, h)
+		handles = append(handles, h)
+	}
+	if got := len(sched.Sessions()); got != 1 {
+		t.Fatalf("retained %d sessions under a MaxRetained=1 bound, want 1", got)
+	}
+	if _, ok := sched.Session(handles[0].ID()); ok {
+		t.Error("oldest terminal session survived the retention bound")
+	}
+
+	running, err := sched.Submit(ds, longJob()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEpochs(t, running, 1)
+	if known, err := sched.Remove(running.ID()); !known || !errors.Is(err, ErrSessionNotTerminal) {
+		t.Fatalf("Remove(running) = (%v, %v), want (true, ErrSessionNotTerminal)", known, err)
+	}
+	running.Cancel()
+	if _, err := running.Wait(context.Background()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled session error = %v, want ErrCanceled", err)
+	}
+	if known, _ := sched.Remove("job-999"); known {
+		t.Error("Remove of an unknown id reported it as known")
+	}
+}
