@@ -214,26 +214,45 @@ func BenchmarkEpochAdaQP(b *testing.B) {
 // BenchmarkEpochTransports measures one training epoch per registered
 // runtime backend through the Engine API — the per-backend cost of the
 // transport seam itself — plus the sharded-async backend with a bounded
-// worker pool and a relaxed staleness bound (its async fast path).
+// worker pool and a relaxed staleness bound (its async fast path), and a
+// SANCUS blocking/overlap pair demonstrating the split-phase schedule.
+// Every sub-benchmark reports the run's simulated wall-clock as
+// sim-wallclock-sec; benchdiff's -wallclock-threshold and -wallclock-less
+// gates consume it (CI asserts the overlap variant's simulated epoch is
+// shorter than the blocking one's).
 func BenchmarkEpochTransports(b *testing.B) {
 	run := func(b *testing.B, opts ...adaqp.Option) {
 		b.Helper()
 		eng := benchEngine(b, 2, opts...)
 		b.ResetTimer()
+		var wall adaqp.Seconds
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Run(); err != nil {
+			res, err := eng.Run()
+			if err != nil {
 				b.Fatal(err)
 			}
+			wall = res.WallClock
 		}
+		b.ReportMetric(float64(wall), "sim-wallclock-sec")
 	}
 	for _, tr := range adaqp.Transports() {
-		b.Run(tr, func(b *testing.B) { run(b, adaqp.WithTransport(tr)) })
+		b.Run(tr, func(b *testing.B) { run(b, adaqp.WithTransport(adaqp.TransportSpec{Name: tr})) })
 	}
 	b.Run("sharded-async-stale8", func(b *testing.B) {
-		run(b,
-			adaqp.WithTransport(adaqp.TransportShardedAsync),
-			adaqp.WithWorkers(2),
-			adaqp.WithStalenessBound(8))
+		run(b, adaqp.WithTransport(adaqp.TransportSpec{
+			Name: adaqp.TransportShardedAsync, Workers: 2, Staleness: 8,
+		}))
+	})
+	// The overlap pair: same SANCUS job, blocking vs split-phase schedule.
+	// Fixed-seed losses are bit-identical; sim-wallclock-sec must drop.
+	b.Run("sancus-blocking", func(b *testing.B) {
+		run(b, adaqp.WithMethod(adaqp.SANCUS))
+	})
+	b.Run("sancus-sharded-overlap", func(b *testing.B) {
+		run(b, adaqp.WithMethod(adaqp.SANCUS),
+			adaqp.WithTransport(adaqp.TransportSpec{
+				Name: adaqp.TransportShardedAsync, Workers: 2, Staleness: 8, Overlap: true,
+			}))
 	})
 }
 
@@ -348,7 +367,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 func BenchmarkEpochCodecs(b *testing.B) {
 	for _, codec := range adaqp.Codecs() {
 		b.Run(codec, func(b *testing.B) {
-			eng := benchEngine(b, 2, adaqp.WithCodec(codec))
+			eng := benchEngine(b, 2, adaqp.WithCodec(adaqp.CodecSpec{Name: codec}))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Run(); err != nil {

@@ -10,6 +10,7 @@
 //	adaqp -dataset tiny -method vanilla -codec topk -density 0.05
 //	adaqp -dataset tiny -method vanilla -codec delta -keyframe 20
 //	adaqp -dataset tiny -method sancus -transport sharded-async -staleness 8 -workers 4
+//	adaqp -dataset tiny -method sancus -transport sharded-async -staleness 8 -overlap
 //	adaqp -dataset tiny -method adaqp -chaos-stragglers 1 -chaos-slow 4 -chaos-crash-epoch 20
 //
 // The -method, -codec, -transport and -dataset usage strings list whatever
@@ -38,6 +39,7 @@ func main() {
 		tport    = flag.String("transport", "", "runtime backend: "+strings.Join(adaqp.Transports(), ", "))
 		workers  = flag.Int("workers", 0, "worker pool size for pooled transports (0 = one per CPU)")
 		stale    = flag.Int("staleness", 0, "collectives a device may run ahead on async transports")
+		overlap  = flag.Bool("overlap", false, "split-phase collectives: hide broadcast wire time behind central-graph compute")
 		parts    = flag.Int("parts", 4, "number of devices")
 		epochs   = flag.Int("epochs", 100, "training epochs")
 		hidden   = flag.Int("hidden", 256, "hidden dimension")
@@ -90,7 +92,7 @@ func main() {
 		Dataset: *dataset, Scale: *scale,
 		Model: *model, Method: *method,
 		Codec: *codec, Transport: *tport,
-		Workers: *workers, Staleness: *stale,
+		Workers: *workers, Staleness: *stale, Overlap: *overlap,
 		Parts: *parts, Epochs: *epochs, Hidden: *hidden,
 		LR: *lr, Dropout: dropout, Lambda: lambda, EvalEvery: evalEach,
 		GroupSize: *group, ReassignPeriod: *period,
@@ -144,6 +146,9 @@ func main() {
 	fmt.Printf("wall-clock       %.2fs (assign %.2fs)\n", res.WallClock, res.AssignTime)
 	fmt.Printf("per-epoch        comm %.4fs  comp %.4fs  quant %.4fs  idle %.4fs\n",
 		per.Comm, per.Comp, per.Quant, per.Idle)
+	if ovl := res.OverlapSeconds(); ovl > 0 {
+		fmt.Printf("overlap          %.2fs of wire time hidden behind compute\n", ovl)
+	}
 	if f := res.Faults; f.Any() {
 		fmt.Printf("faults           stragglers %d  retries %d (%.3fs)  crashes %d (%.3fs recovery)\n",
 			f.Stragglers, f.Retries, f.RetryTime, f.Crashes, f.RecoveryTime)

@@ -285,6 +285,28 @@ func TestHealthzAndMetricsAndDrain(t *testing.T) {
 		}
 	}
 
+	// An overlap-scheduled SANCUS job must surface its hidden wire time in
+	// the monotonic overlap counter and in /metrics.
+	overlapJob := `{"dataset":"tiny","scale":0.25,"parts":2,"method":"sancus","epochs":2,
+		"hidden":8,"eval_every":0,"transport":"sharded-async","staleness":4,"overlap":true}`
+	_, job = postJob(t, ts, overlapJob)
+	if final := waitTerminal(t, ts, job.ID); final.Status != "done" {
+		t.Fatalf("overlap job status = %q (error %q), want done", final.Status, final.Error)
+	}
+	if got := sched.OverlapTotal(); got <= 0 {
+		t.Fatalf("OverlapTotal = %v after an overlap-scheduled session, want > 0", got)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("adaqpd_overlap_seconds_total")) ||
+		bytes.Contains(body, []byte("adaqpd_overlap_seconds_total 0\n")) {
+		t.Errorf("metrics output missing a positive adaqpd_overlap_seconds_total:\n%s", body)
+	}
+
 	// Draining flips healthz to 503 and submissions to 503.
 	if err := sched.Drain(t.Context()); err != nil {
 		t.Fatal(err)

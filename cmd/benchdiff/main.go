@@ -11,12 +11,18 @@
 //
 // The tool exits non-zero when any benchmark present in both files slowed
 // down by more than the -threshold factor in ns/op, grew past the
-// -alloc-threshold factor in allocs/op or the -bytes-threshold factor in
-// B/op (0 disables either memory gate), or when a baseline benchmark
+// -alloc-threshold factor in allocs/op, the -bytes-threshold factor in
+// B/op or the -wallclock-threshold factor in the sim-wallclock-sec custom
+// metric (0 disables each optional gate), or when a baseline benchmark
 // disappeared (pass -allow-missing to tolerate renames). Single-iteration
 // benchtime=1x timings are coarse, so the ns threshold guards the
-// trajectory, not the noise floor; allocation counts are near-
-// deterministic, so their thresholds can sit much tighter.
+// trajectory, not the noise floor; allocation counts and the simulated
+// wall-clock are deterministic, so their thresholds can sit much tighter.
+//
+// -wallclock-less "A<B" asserts, within the new run alone (no baseline
+// needed), that benchmark A reported a positive sim-wallclock-sec strictly
+// below benchmark B's — how CI pins the overlap schedule's win over the
+// blocking backend.
 //
 // -summary appends the comparison as a markdown table to the given file
 // (pass "$GITHUB_STEP_SUMMARY" in CI).
@@ -28,10 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchEntry is one benchmark's measurements, matching the BENCH_N.json
@@ -40,6 +46,10 @@ type benchEntry struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SimWallClockSec is the simulated epoch wall-clock reported by
+	// benchmarks via b.ReportMetric(..., "sim-wallclock-sec"); zero when a
+	// benchmark doesn't report it.
+	SimWallClockSec float64 `json:"sim_wallclock_sec,omitempty"`
 }
 
 // benchFile is the BENCH_N.json document.
@@ -51,10 +61,6 @@ type benchFile struct {
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
 }
 
-// benchLine matches `go test -bench -benchmem` result lines, e.g.
-// "BenchmarkSpMM-8   1   2651570 ns/op   592 B/op   18 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
 func main() {
 	var (
 		input          = flag.String("input", "-", "benchmark text output to parse (- = stdin)")
@@ -63,6 +69,8 @@ func main() {
 		threshold      = flag.Float64("threshold", 2.5, "fail when new ns/op exceeds baseline by this factor")
 		allocThreshold = flag.Float64("alloc-threshold", 0, "fail when new allocs/op exceeds baseline by this factor (0 disables)")
 		bytesThreshold = flag.Float64("bytes-threshold", 0, "fail when new B/op exceeds baseline by this factor (0 disables)")
+		wallThreshold  = flag.Float64("wallclock-threshold", 0, "fail when new sim-wallclock-sec exceeds baseline by this factor (0 disables)")
+		wallLess       = flag.String("wallclock-less", "", `intra-run assertion "A<B": fail unless benchmark A's sim-wallclock-sec is positive and strictly below B's`)
 		summary        = flag.String("summary", "", "append the comparison as a markdown table to this file")
 		allowMissing   = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the new run")
 		note           = flag.String("note", "", "note field for the emitted JSON")
@@ -96,6 +104,11 @@ func main() {
 		}
 		fmt.Printf("wrote %d benchmarks to %s\n", len(entries), *out)
 	}
+	if *wallLess != "" {
+		if err := checkWallclockLess(entries, *wallLess); err != nil {
+			fatal(err)
+		}
+	}
 	if *baseline == "" {
 		return
 	}
@@ -103,12 +116,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	gates := []gate{{"ns/op", func(e benchEntry) int64 { return e.NsPerOp }, *threshold}}
+	gates := []gate{{"ns/op", func(e benchEntry) float64 { return float64(e.NsPerOp) }, *threshold}}
 	if *allocThreshold > 0 {
-		gates = append(gates, gate{"allocs/op", func(e benchEntry) int64 { return e.AllocsPerOp }, *allocThreshold})
+		gates = append(gates, gate{"allocs/op", func(e benchEntry) float64 { return float64(e.AllocsPerOp) }, *allocThreshold})
 	}
 	if *bytesThreshold > 0 {
-		gates = append(gates, gate{"B/op", func(e benchEntry) int64 { return e.BytesPerOp }, *bytesThreshold})
+		gates = append(gates, gate{"B/op", func(e benchEntry) float64 { return float64(e.BytesPerOp) }, *bytesThreshold})
+	}
+	if *wallThreshold > 0 {
+		gates = append(gates, gate{"sim-wallclock-sec", func(e benchEntry) float64 { return e.SimWallClockSec }, *wallThreshold})
 	}
 	failed := compare(base.Benchmarks, entries, gates, *allowMissing)
 	if *summary != "" {
@@ -125,7 +141,7 @@ func main() {
 // which CI fails.
 type gate struct {
 	metric    string
-	get       func(benchEntry) int64
+	get       func(benchEntry) float64
 	threshold float64
 }
 
@@ -138,11 +154,43 @@ func (g gate) ratio(b, c benchEntry) float64 {
 		if cv == 0 {
 			return 1
 		}
-		return float64(cv) // vs zero: treat the raw count as the factor
+		return cv // vs zero: treat the raw count as the factor
 	}
-	return float64(cv) / float64(bv)
+	return cv / bv
 }
 
+// checkWallclockLess enforces an "A<B" sim-wallclock-sec ordering within
+// one run: both benchmarks must be present and have reported the metric,
+// and A's value must be strictly below B's.
+func checkWallclockLess(entries map[string]benchEntry, expr string) error {
+	a, b, ok := strings.Cut(expr, "<")
+	a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+	if !ok || a == "" || b == "" {
+		return fmt.Errorf(`-wallclock-less wants "A<B", got %q`, expr)
+	}
+	ea, oka := entries[a]
+	eb, okb := entries[b]
+	if !oka || !okb {
+		return fmt.Errorf("-wallclock-less %q: benchmark(s) missing from the run (have %d entries)", expr, len(entries))
+	}
+	if ea.SimWallClockSec <= 0 || eb.SimWallClockSec <= 0 {
+		return fmt.Errorf("-wallclock-less %q: sim-wallclock-sec not reported (%v vs %v)", expr, ea.SimWallClockSec, eb.SimWallClockSec)
+	}
+	if ea.SimWallClockSec >= eb.SimWallClockSec {
+		return fmt.Errorf("-wallclock-less %q failed: %v >= %v", expr, ea.SimWallClockSec, eb.SimWallClockSec)
+	}
+	fmt.Printf("wallclock-less ok: %s (%v) < %s (%v)\n", a, ea.SimWallClockSec, b, eb.SimWallClockSec)
+	return nil
+}
+
+// parseBench tokenizes `go test -bench` result lines as (value, unit)
+// field pairs after the name and iteration count — e.g.
+//
+//	BenchmarkSpMM-8  1  2651570 ns/op  592 B/op  18 allocs/op
+//	BenchmarkEpoch-8 1  123456 ns/op  0.45 sim-wallclock-sec  592 B/op ...
+//
+// so custom b.ReportMetric units interleaved between the standard ones
+// (Go prints them ordered by unit string) don't desynchronize parsing.
 func parseBench(path string) (map[string]benchEntry, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
@@ -158,23 +206,41 @@ func parseBench(path string) (map[string]benchEntry, error) {
 		return nil, err
 	}
 	entries := map[string]benchEntry{}
-	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("line %q: %w", line, err)
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. "BenchmarkX ... --- FAIL")
 		}
-		e := benchEntry{NsPerOp: int64(ns)}
-		if m[3] != "" {
-			e.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
 		}
-		if m[4] != "" {
-			e.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		var e benchEntry
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp, sawNs = int64(v), true
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			case "sim-wallclock-sec":
+				e.SimWallClockSec = v
+			}
 		}
-		entries[m[1]] = e
+		if sawNs {
+			entries[name] = e
+		}
 	}
 	return entries, nil
 }

@@ -105,9 +105,11 @@ func compareCodecs() {
 		adaqp.WithHidden(64),
 		adaqp.WithEvalEvery(0),
 		adaqp.WithReassignPeriod(10),
-		adaqp.WithUniformBits(2),
-		adaqp.WithTopKDensity(0.1),
-		adaqp.WithDeltaKeyframe(10),
+		adaqp.WithCodec(adaqp.CodecSpec{
+			UniformBits:        2,
+			TopKDensity:        0.1,
+			DeltaKeyframeEvery: 10,
+		}),
 		adaqp.WithSeed(1))
 	if err != nil {
 		fatal(err)
@@ -118,14 +120,13 @@ func compareCodecs() {
 	for _, codec := range []string{
 		adaqp.CodecFP32, adaqp.CodecAdaptive, adaqp.CodecEFQuant, adaqp.CodecTopK, adaqp.CodecDelta,
 	} {
-		inproc, err := eng.Run(adaqp.WithCodec(codec))
+		inproc, err := eng.Run(adaqp.WithCodec(adaqp.CodecSpec{Name: codec}))
 		if err != nil {
 			fatal(fmt.Errorf("%s on %s: %w", codec, adaqp.TransportInprocess, err))
 		}
 		sharded, err := eng.Run(
-			adaqp.WithCodec(codec),
-			adaqp.WithTransport(adaqp.TransportShardedAsync),
-			adaqp.WithWorkers(2))
+			adaqp.WithCodec(adaqp.CodecSpec{Name: codec}),
+			adaqp.WithTransport(adaqp.TransportSpec{Name: adaqp.TransportShardedAsync, Workers: 2}))
 		if err != nil {
 			fatal(fmt.Errorf("%s on %s: %w", codec, adaqp.TransportShardedAsync, err))
 		}

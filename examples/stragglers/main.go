@@ -67,13 +67,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		blocking, err = eng.Run(adaqp.WithTransport(adaqp.TransportInprocess))
+		blocking, err = eng.Run(adaqp.WithTransport(adaqp.TransportSpec{Name: adaqp.TransportInprocess}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		async, err = eng.Run(
-			adaqp.WithTransport(adaqp.TransportShardedAsync),
-			adaqp.WithStalenessBound(16))
+		async, err = eng.Run(adaqp.WithTransport(adaqp.TransportSpec{
+			Name:      adaqp.TransportShardedAsync,
+			Staleness: 16,
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,6 +102,11 @@ func main() {
 	chaosUp := float64(chaosBlk.WallClock) / float64(chaosAsy.WallClock)
 	if chaosUp <= cleanUp {
 		log.Fatalf("async speedup under faults (%.3fx) did not exceed the fault-free speedup (%.3fx): the staleness bound failed to decouple the stragglers", chaosUp, cleanUp)
+	}
+
+	fmt.Printf("\nper-device phases under the straggler plan (sharded-async s=16):\n")
+	for _, p := range chaosAsy.Phases() {
+		fmt.Printf("  %v\n", p)
 	}
 
 	fmt.Printf("\nidentical loss curves in all four runs. fault-free, staleness is worth\n")

@@ -37,6 +37,25 @@ type Cluster struct {
 	// bytesMoved accumulates total payload bytes per (src,dst) pair.
 	bytesMu    sync.Mutex
 	bytesMoved [][]int64
+
+	// Split-phase collective state: the barrier cannot serve a
+	// non-blocking Start, so in-flight start/wait collectives rendezvous
+	// through this sequence-keyed store instead.
+	splitMu    sync.Mutex
+	splitCond  *sync.Cond
+	splitColls map[int]*splitColl
+}
+
+// splitColl is one in-flight split-phase collective, keyed by each
+// device's program-order sequence number (SPMD: every device's k-th Start
+// is the same collective).
+type splitColl struct {
+	op     string
+	root   int
+	bufs   [][]byte // broadcast: bufs[dst] for dst != root; scatter: root's payloads
+	at     []timing.Seconds
+	posted int
+	done   int
 }
 
 // New creates a cluster of n devices with the given cost model
@@ -65,6 +84,8 @@ func New(n int, model *timing.CostModel) *Cluster {
 		c.bytesMoved[i] = make([]int64, n)
 		c.exchange[i] = make([][]byte, n)
 	}
+	c.splitCond = sync.NewCond(&c.splitMu)
+	c.splitColls = make(map[int]*splitColl)
 	return c
 }
 
@@ -115,6 +136,9 @@ type Device struct {
 	// sums is reusable reduction scratch for AllReduceSum, private to this
 	// device between barriers.
 	sums []*tensor.Matrix
+	// splitSeq numbers this device's split-phase Starts in program order;
+	// the k-th Start on every device is the same collective.
+	splitSeq int
 }
 
 // sizesScratch returns the n×n RingAll2All size table, reused across calls.
@@ -415,6 +439,152 @@ func (d *Device) BroadcastBytes(root int, payload []byte) []byte {
 		out = c.exchange[root][d.rank]
 	}
 	c.barrier.wait()
+	return out
+}
+
+// PendingBytes is the handle returned by a split-phase collective's
+// Start call. Wait blocks until every device has posted the collective,
+// charges this device's clock via timing.FinishDeferred, and returns the
+// same bytes the blocking form would return. Handles must be waited
+// exactly once, in Start order (FIFO) — the completion schedule is part
+// of the deterministic clock contract. A Start immediately followed by
+// its Wait charges bitwise-identically to the blocking collective.
+type PendingBytes interface {
+	Wait() []byte
+}
+
+// Split-phase op tags; devices must agree on the op and root of each
+// sequence-numbered collective or the run panics (programming error).
+const (
+	opSplitBroadcast = "split-broadcast"
+	opSplitScatter   = "split-scatter"
+)
+
+// splitGet returns (creating if needed) the in-flight collective for seq,
+// panicking if devices disagree on what collective seq is. Caller holds
+// c.splitMu.
+func (c *Cluster) splitGet(seq int, op string, root int) *splitColl {
+	coll := c.splitColls[seq]
+	if coll == nil {
+		coll = &splitColl{
+			op:   op,
+			root: root,
+			bufs: make([][]byte, c.n),
+			at:   make([]timing.Seconds, c.n),
+		}
+		c.splitColls[seq] = coll
+	}
+	if coll.op != op || coll.root != root {
+		panic(fmt.Sprintf("cluster: split collective %d diverged: %s root %d vs %s root %d",
+			seq, coll.op, coll.root, op, root))
+	}
+	return coll
+}
+
+// startSplit posts this device's part of a split-phase collective and
+// returns its handle. post fills in the root's payload(s); it runs under
+// the split lock.
+func (d *Device) startSplit(op string, root int, post func(*splitColl)) *splitPending {
+	c := d.c
+	seq := d.splitSeq
+	d.splitSeq++
+	start := d.Clock().Now()
+	c.splitMu.Lock()
+	coll := c.splitGet(seq, op, root)
+	if d.rank == root {
+		post(coll)
+	}
+	coll.at[d.rank] = start
+	coll.posted++
+	c.splitCond.Broadcast()
+	c.splitMu.Unlock()
+	return &splitPending{d: d, seq: seq, op: op, root: root, start: start}
+}
+
+// StartBroadcast begins a split-phase broadcast of root's payload to all
+// devices (same payload, sequential-send timing — the blocking
+// BroadcastBytes schedule). It never blocks; the returned handle's Wait
+// delivers the payload and charges the clock.
+func (d *Device) StartBroadcast(root int, payload []byte) PendingBytes {
+	return d.startSplit(opSplitBroadcast, root, func(coll *splitColl) {
+		for q := 0; q < d.c.n; q++ {
+			coll.bufs[q] = payload
+		}
+	})
+}
+
+// StartScatter begins a split-phase scatter of payloads[i] from root to
+// device i (max-transfer timing — the blocking ScatterBytes schedule).
+// payloads is only read on root. It never blocks; the returned handle's
+// Wait delivers this device's slice and charges the clock.
+func (d *Device) StartScatter(root int, payloads [][]byte) PendingBytes {
+	return d.startSplit(opSplitScatter, root, func(coll *splitColl) {
+		copy(coll.bufs, payloads)
+	})
+}
+
+// splitPending implements PendingBytes for the in-process backend.
+type splitPending struct {
+	d     *Device
+	seq   int
+	op    string
+	root  int
+	start timing.Seconds
+	done  bool
+}
+
+func (p *splitPending) Wait() []byte {
+	if p.done {
+		panic("cluster: split-phase handle waited twice")
+	}
+	p.done = true
+	d := p.d
+	c := d.c
+	c.splitMu.Lock()
+	coll := c.splitColls[p.seq]
+	for coll.posted < c.n {
+		c.splitCond.Wait()
+	}
+	// align is the blocking path's barrier point: the latest Start. wire
+	// replicates the blocking collective's charge exactly (same loop, same
+	// accumulation order) so staleness-0 clocks stay bit-identical.
+	var align timing.Seconds
+	for _, t := range coll.at {
+		if t > align {
+			align = t
+		}
+	}
+	var wire timing.Seconds
+	for dst := 0; dst < c.n; dst++ {
+		if dst == p.root {
+			continue
+		}
+		tt := c.model.TransferTime(p.root, dst, len(coll.bufs[dst]))
+		switch p.op {
+		case opSplitBroadcast:
+			wire += tt // root serializes its sends
+		case opSplitScatter:
+			if tt > wire {
+				wire = tt
+			}
+		}
+	}
+	out := coll.bufs[d.rank]
+	if p.op == opSplitBroadcast && d.rank == p.root {
+		c.bytesMu.Lock()
+		for dst := 0; dst < c.n; dst++ {
+			if dst != p.root {
+				c.bytesMoved[p.root][dst] += int64(len(coll.bufs[dst]))
+			}
+		}
+		c.bytesMu.Unlock()
+	}
+	coll.done++
+	if coll.done == c.n {
+		delete(c.splitColls, p.seq)
+	}
+	c.splitMu.Unlock()
+	timing.FinishDeferred(d.Clock(), p.start, align, wire)
 	return out
 }
 

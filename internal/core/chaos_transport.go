@@ -173,3 +173,77 @@ func (d *faultDevice) BroadcastBytes(root int, payload []byte) []byte {
 	d.around(func() { out = d.Transport.BroadcastBytes(root, payload) })
 	return out
 }
+
+// chargeSlowdown applies the straggler factor to the local work done since
+// the previous charging point and moves the window forward. Split-phase
+// collectives have two charging points — Start (work before the post) and
+// Wait entry (work overlapped with the in-flight collective) — so every
+// instant of a straggler's compute pays the factor exactly once and its
+// posts/rendezvous happen at the slowed times, exactly as in the blocking
+// path.
+func (d *faultDevice) chargeSlowdown() {
+	r := d.Transport.Rank()
+	ck := d.Transport.Clock()
+	if s := d.plan.Slowdown[r]; s > 1 {
+		if work := ck.Now() - d.last; work > 0 {
+			ck.Advance(timing.Comp, work*timing.Seconds(s-1))
+		}
+	}
+	d.last = ck.Now()
+}
+
+// startSplit claims the next op index for a split-phase collective. The
+// index is claimed at Start — matching the blocking path, where the op
+// counter advances in collective-issue order — so the failure schedule is
+// identical whether a collective is issued blocking or split.
+func (d *faultDevice) startSplit() int {
+	d.chargeSlowdown()
+	op := d.op
+	d.op++
+	return op
+}
+
+func (d *faultDevice) StartBroadcast(root int, payload []byte) PendingCollective {
+	op := d.startSplit()
+	return &faultPending{d: d, inner: d.Transport.StartBroadcast(root, payload), op: op}
+}
+
+func (d *faultDevice) StartScatter(root int, payloads [][]byte) PendingCollective {
+	op := d.startSplit()
+	return &faultPending{d: d, inner: d.Transport.StartScatter(root, payloads), op: op}
+}
+
+// faultPending wraps an inner split-phase handle with the fault plan's
+// charging: straggler slowdown on the overlapped compute at Wait entry,
+// then transient-failure retries against the Comm this device actually
+// paid for the collective (measured from Wait entry, not Start — other
+// handles' Waits may charge Comm in between; a fully hidden transfer
+// loses nothing but the backoff).
+type faultPending struct {
+	d     *faultDevice
+	inner PendingCollective
+	op    int
+}
+
+func (p *faultPending) Wait() []byte {
+	d := p.d
+	r := d.Transport.Rank()
+	ck := d.Transport.Clock()
+	d.chargeSlowdown()
+	commBefore := ck.Spent(timing.Comm)
+	out := p.inner.Wait()
+	if fails := d.plan.Failures(r, p.op); fails > 0 {
+		lost := ck.Spent(timing.Comm) - commBefore
+		backoff := timing.Seconds(d.plan.Spec.Backoff)
+		var retryTime timing.Seconds
+		for i := 0; i < fails; i++ {
+			ck.Advance(timing.Idle, backoff)
+			ck.Advance(timing.Comm, lost)
+			retryTime += backoff + lost
+			backoff *= 2
+		}
+		d.stats.addRetries(int64(fails), retryTime)
+	}
+	d.last = ck.Now()
+	return out
+}

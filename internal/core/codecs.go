@@ -375,10 +375,18 @@ func newSancusCodec(env *CodecEnv) (MessageCodec, error) {
 func (c *sancusCodec) Name() string { return CodecSancus }
 
 func (c *sancusCodec) Forward(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
-	if err := c.exchange(env, epoch, l, h, xFull); err != nil {
+	overlap := env.Cfg.TransportOverlap
+	if err := c.exchange(env, epoch, l, h, xFull, overlap); err != nil {
 		return err
 	}
-	env.Dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Total)
+	fc := env.ForwardCosts(l)
+	if overlap {
+		// The central share was charged inside the broadcast window by
+		// exchange; only the halo-dependent marginal share remains.
+		env.Dev.Clock().Advance(timing.Comp, fc.Marginal)
+	} else {
+		env.Dev.Clock().Advance(timing.Comp, fc.Total)
+	}
 	return nil
 }
 

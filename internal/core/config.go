@@ -182,6 +182,16 @@ type Config struct {
 	// lockstep semantics, bit-identical to the in-process cluster.
 	TransportStaleness int
 
+	// TransportOverlap switches the trainer's exchange hot loop to the
+	// split-phase collective schedule: all of an exchange's sends are
+	// started before any is consumed, so central-graph compute runs inside
+	// the wire window and hidden latency is recorded under
+	// timing.Overlap instead of charged to Comm/Idle. Payload routing is
+	// unchanged, so fixed-seed loss curves stay bit-identical to the
+	// blocking schedule; only the simulated clocks improve. Off by
+	// default.
+	TransportOverlap bool
+
 	// transportFactory, when non-nil, builds the run's runtime directly,
 	// bypassing the registry lookup. It is the transport-conformance
 	// harness's seam, mirroring codecFactory: chaos-mode conformance

@@ -59,6 +59,9 @@ func ConformTransport(f RuntimeFactory, parts int) []Violation {
 	checkGather(f, parts, col)
 	checkScatter(f, parts, col)
 	checkBroadcast(f, parts, col)
+	checkSplitBroadcast(f, parts, col)
+	checkSplitScatter(f, parts, col)
+	checkOverlapCharge(f, parts, col)
 	checkRawSideband(f, parts, col)
 	checkReferenceParity(f, parts, col)
 	return col.v
@@ -387,6 +390,217 @@ func checkBroadcast(f RuntimeFactory, parts int, col *vioCollector) {
 	}
 }
 
+// checkSplitBroadcast: a split-phase broadcast whose Wait immediately
+// follows Start must be indistinguishable from the blocking collective —
+// same payload, same Comm/Idle charges bit for bit, nothing recorded as
+// Overlap (no compute ran inside the window), same byte ledger.
+func checkSplitBroadcast(f RuntimeFactory, parts int, col *vioCollector) {
+	root := 1 % parts
+	model := timing.Default()
+	const size = 88
+	var wantComm timing.Seconds
+	for dst := 0; dst < parts; dst++ {
+		if dst != root {
+			wantComm += model.TransferTime(root, dst, size)
+		}
+	}
+	rt := runBody(f, parts, col, func(dev Transport) error {
+		r := dev.Rank()
+		own, max := skew(dev)
+		var payload []byte
+		if r == root {
+			payload = pattern(size, root, root, 11)
+		}
+		out := dev.StartBroadcast(root, payload).Wait()
+		if !bytes.Equal(out, pattern(size, root, root, 11)) {
+			col.addf("split-payload", "rank %d received a wrong split-broadcast payload from %d", r, root)
+		}
+		if comm := dev.Clock().Spent(timing.Comm); comm != wantComm {
+			col.addf("split-broadcast-charge", "rank %d charged %v to Comm, want the blocking sequential broadcast %v", r, comm, wantComm)
+		}
+		if idle := dev.Clock().Spent(timing.Idle); idle != max-own {
+			col.addf("split-broadcast-charge", "rank %d charged %v to Idle, want %v", r, idle, max-own)
+		}
+		if ov := dev.Clock().Spent(timing.Overlap); ov != 0 {
+			col.addf("split-broadcast-charge", "rank %d recorded %v Overlap with no compute inside the window, want 0", r, ov)
+		}
+		return nil
+	})
+	moved := rt.BytesMoved()
+	for s := range moved {
+		for d := range moved[s] {
+			want := int64(0)
+			if s == root && d != root {
+				want = size
+			}
+			if moved[s][d] != want {
+				col.addf("byte-accounting", "split-broadcast pair (%d,%d) recorded %d bytes, want %d", s, d, moved[s][d], want)
+			}
+		}
+	}
+}
+
+// checkSplitScatter: the scatter analogue of checkSplitBroadcast —
+// immediate Wait equals the blocking charge (slowest outgoing transfer),
+// no Overlap, and scatter stays out of the byte ledger.
+func checkSplitScatter(f RuntimeFactory, parts int, col *vioCollector) {
+	root := parts / 2
+	model := timing.Default()
+	size := func(d int) int { return 20 * (d + 2) }
+	var wantComm timing.Seconds
+	for dst := 0; dst < parts; dst++ {
+		if dst == root {
+			continue
+		}
+		if t := model.TransferTime(root, dst, size(dst)); t > wantComm {
+			wantComm = t
+		}
+	}
+	rt := runBody(f, parts, col, func(dev Transport) error {
+		r := dev.Rank()
+		own, max := skew(dev)
+		var payloads [][]byte
+		if r == root {
+			payloads = make([][]byte, parts)
+			for dst := range payloads {
+				payloads[dst] = pattern(size(dst), root, dst, 12)
+			}
+		}
+		out := dev.StartScatter(root, payloads).Wait()
+		if !bytes.Equal(out, pattern(size(r), root, r, 12)) {
+			col.addf("split-payload", "rank %d received a wrong split-scatter slice from %d", r, root)
+		}
+		if comm := dev.Clock().Spent(timing.Comm); comm != wantComm {
+			col.addf("split-scatter-charge", "rank %d charged %v to Comm, want the blocking slowest outgoing transfer %v", r, comm, wantComm)
+		}
+		if idle := dev.Clock().Spent(timing.Idle); idle != max-own {
+			col.addf("split-scatter-charge", "rank %d charged %v to Idle, want %v", r, idle, max-own)
+		}
+		if ov := dev.Clock().Spent(timing.Overlap); ov != 0 {
+			col.addf("split-scatter-charge", "rank %d recorded %v Overlap with no compute inside the window, want 0", r, ov)
+		}
+		return nil
+	})
+	moved := rt.BytesMoved()
+	for s := range moved {
+		for d := range moved[s] {
+			if moved[s][d] != 0 {
+				col.addf("byte-accounting", "split-scatter pair (%d,%d) recorded %d bytes, want 0 (scatter is not byte-accounted)", s, d, moved[s][d])
+			}
+		}
+	}
+}
+
+// compareOverlapClock compares a device's clock to a reference clock that
+// applied the canonical charging rule (timing.FinishDeferred) to the same
+// schedule.
+func compareOverlapClock(col *vioCollector, label string, dev Transport, ref *timing.Clock) {
+	ck := dev.Clock()
+	if ck.Now() != ref.Now() {
+		col.addf("overlap-charge", "%s: rank %d clock %v, canonical schedule %v", label, dev.Rank(), ck.Now(), ref.Now())
+	}
+	for _, cat := range []timing.Category{timing.Comm, timing.Idle, timing.Overlap} {
+		if ck.Spent(cat) != ref.Spent(cat) {
+			col.addf("overlap-charge", "%s: rank %d charged %v to %v, canonical schedule %v", label, dev.Rank(), ck.Spent(cat), cat, ref.Spent(cat))
+		}
+	}
+}
+
+// checkOverlapCharge: compute issued between Start and Wait must hide the
+// collective's latency — fully hidden windows charge nothing to Comm/Idle
+// and record the window under Overlap; partially hidden windows charge
+// only the uncovered tail. Expected values are produced by replaying each
+// schedule through timing.FinishDeferred on a scratch clock, so equality
+// is bitwise. Three schedules: full hide (with skewed ranks), partial
+// hide, and two handles in flight waited FIFO.
+func checkOverlapCharge(f RuntimeFactory, parts int, col *vioCollector) {
+	model := timing.Default()
+	const size = 96
+	root := parts - 1
+	var wire timing.Seconds
+	for dst := 0; dst < parts; dst++ {
+		if dst != root {
+			wire += model.TransferTime(root, dst, size)
+		}
+	}
+	align := timing.Seconds(parts) // slowest skewed rank's Start
+	hide := align + 2*wire         // out-computes the window on every rank
+
+	// Full hide: every rank computes past align+wire before waiting.
+	runBody(f, parts, col, func(dev Transport) error {
+		r := dev.Rank()
+		own, _ := skew(dev)
+		var payload []byte
+		if r == root {
+			payload = pattern(size, root, root, 13)
+		}
+		p := dev.StartBroadcast(root, payload)
+		dev.Clock().Advance(timing.Comp, hide)
+		if out := p.Wait(); !bytes.Equal(out, pattern(size, root, root, 13)) {
+			col.addf("split-payload", "rank %d received a wrong overlapped broadcast payload from %d", r, root)
+		}
+		ref := timing.NewClock()
+		ref.Advance(timing.Comp, own)
+		ref.Advance(timing.Comp, hide)
+		timing.FinishDeferred(ref, own, align, wire)
+		compareOverlapClock(col, "full-hide", dev, ref)
+		return nil
+	})
+
+	// Partial hide: no skew, so every rank starts at 0 and computes half
+	// the wire time — the tail must be charged to Comm, the covered half
+	// recorded as Overlap.
+	runBody(f, parts, col, func(dev Transport) error {
+		r := dev.Rank()
+		var payload []byte
+		if r == root {
+			payload = pattern(size, root, root, 14)
+		}
+		p := dev.StartBroadcast(root, payload)
+		dev.Clock().Advance(timing.Comp, wire/2)
+		p.Wait()
+		ref := timing.NewClock()
+		ref.Advance(timing.Comp, wire/2)
+		timing.FinishDeferred(ref, 0, 0, wire)
+		compareOverlapClock(col, "partial-hide", dev, ref)
+		return nil
+	})
+
+	// Two in flight, waited FIFO: both windows open before either closes.
+	runBody(f, parts, col, func(dev Transport) error {
+		r := dev.Rank()
+		var p0, p1 []byte
+		if r == 0 {
+			p0 = pattern(size, 0, 0, 15)
+		}
+		if r == 1%parts {
+			p1 = pattern(size, 1%parts, 1%parts, 16)
+		}
+		h0 := dev.StartBroadcast(0, p0)
+		h1 := dev.StartBroadcast(1%parts, p1)
+		dev.Clock().Advance(timing.Comp, hide)
+		got0, got1 := h0.Wait(), h1.Wait()
+		if !bytes.Equal(got0, pattern(size, 0, 0, 15)) || !bytes.Equal(got1, pattern(size, 1%parts, 1%parts, 16)) {
+			col.addf("split-payload", "rank %d received wrong payloads from two in-flight broadcasts", r)
+		}
+		var wire0, wire1 timing.Seconds
+		for dst := 0; dst < parts; dst++ {
+			if dst != 0 {
+				wire0 += model.TransferTime(0, dst, size)
+			}
+			if dst != 1%parts {
+				wire1 += model.TransferTime(1%parts, dst, size)
+			}
+		}
+		ref := timing.NewClock()
+		ref.Advance(timing.Comp, hide)
+		timing.FinishDeferred(ref, 0, 0, wire0)
+		timing.FinishDeferred(ref, 0, 0, wire1)
+		compareOverlapClock(col, "two-in-flight", dev, ref)
+		return nil
+	})
+}
+
 // checkRawSideband: Raw* collectives move correct data but charge nothing
 // — they model out-of-band metrics, not the system under study.
 func checkRawSideband(f RuntimeFactory, parts int, col *vioCollector) {
@@ -450,6 +664,26 @@ func conformScript(dev Transport) error {
 		bc = pattern(200, r, r, 9)
 	}
 	dev.BroadcastBytes(n/2, bc)
+	// Split-phase section: a broadcast and a scatter with rank-dependent
+	// compute inside each window, so the parity checks cover the
+	// FinishDeferred charging (including Overlap) across backends.
+	var sb []byte
+	if r == 0 {
+		sb = pattern(120, r, r, 17)
+	}
+	pb := dev.StartBroadcast(0, sb)
+	dev.Clock().Advance(timing.Comp, timing.Seconds(float64(n-r)*0.125))
+	pb.Wait()
+	var sp [][]byte
+	if r == n-1 {
+		sp = make([][]byte, n)
+		for dst := range sp {
+			sp[dst] = pattern(24*(dst+2), r, dst, 18)
+		}
+	}
+	ps := dev.StartScatter(n-1, sp)
+	dev.Clock().Advance(timing.Comp, timing.Seconds(float64(r+1)*0.0625))
+	ps.Wait()
 	dev.RawAllGather(pattern(8, r, r, 10))
 	return nil
 }
@@ -465,7 +699,7 @@ func checkReferenceParity(f RuntimeFactory, parts int, col *vioCollector) {
 	}
 	cand := runBody(f, parts, col, conformScript)
 	want := runBody(ref, parts, col, conformScript)
-	cats := []timing.Category{timing.Comm, timing.Comp, timing.Quant, timing.Idle, timing.Assign}
+	cats := []timing.Category{timing.Comm, timing.Comp, timing.Quant, timing.Idle, timing.Assign, timing.Overlap}
 	for r := 0; r < parts; r++ {
 		got, exp := cand.Clocks()[r], want.Clocks()[r]
 		if got.Now() != exp.Now() {

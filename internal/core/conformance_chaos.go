@@ -135,7 +135,7 @@ func checkChaosParity(f RuntimeFactory, parts int, plan *chaos.FaultPlan, name s
 	cand := runBody(faultFactory(f, plan, nil), parts, col, conformScript)
 	want := runBody(faultFactory(ref, plan, nil), parts, col, conformScript)
 	clean := runBody(ref, parts, col, conformScript)
-	cats := []timing.Category{timing.Comm, timing.Comp, timing.Quant, timing.Idle, timing.Assign}
+	cats := []timing.Category{timing.Comm, timing.Comp, timing.Quant, timing.Idle, timing.Assign, timing.Overlap}
 	for r := 0; r < parts; r++ {
 		got, exp := cand.Clocks()[r], want.Clocks()[r]
 		if got.Now() != exp.Now() {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/synthetic"
@@ -105,6 +106,68 @@ func TestShardedStalenessLossParity(t *testing.T) {
 			got := confTrain(t, dep, cfg)
 			compareRuns(t, codec, ref, got, false)
 		}
+	}
+}
+
+// TestOverlapLossParity pins the overlap schedule's core guarantee: with
+// TransportOverlap set the SANCUS payload routing is unchanged, so loss
+// curves, accuracies and byte ledgers stay bit-identical to the blocking
+// schedule — only where the simulated time lands changes. At staleness 0
+// both backends run the identical split-phase schedule through
+// timing.FinishDeferred, so between them even the clocks must agree.
+func TestOverlapLossParity(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	blocking := confTrain(t, dep, confTrainConfig(CodecSancus))
+
+	ovl := confTrainConfig(CodecSancus)
+	ovl.TransportOverlap = true
+	inproc := confTrain(t, dep, ovl)
+	compareRuns(t, "inprocess overlap vs blocking", blocking, inproc, false)
+
+	sh := ovl
+	sh.Transport = TransportShardedAsync
+	compareRuns(t, "sharded overlap vs inprocess overlap", inproc, confTrain(t, dep, sh), true)
+
+	stale := sh
+	stale.TransportStaleness = 8
+	stale.TransportWorkers = 2
+	compareRuns(t, "sharded overlap staleness=8", inproc, confTrain(t, dep, stale), false)
+}
+
+// TestOverlapReducesWallClock: hiding broadcast wire time behind the
+// central-graph forward compute must strictly shorten the simulated epoch
+// (the win BENCH_9 records), and the hidden seconds must be visible under
+// the Overlap phase.
+func TestOverlapReducesWallClock(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	blocking := confTrain(t, dep, confTrainConfig(CodecSancus))
+	cfg := confTrainConfig(CodecSancus)
+	cfg.TransportOverlap = true
+	overlap := confTrain(t, dep, cfg)
+	if overlap.WallClock >= blocking.WallClock {
+		t.Errorf("overlap wall-clock %v not below blocking %v", overlap.WallClock, blocking.WallClock)
+	}
+	if overlap.OverlapSeconds() <= 0 {
+		t.Error("overlap run recorded no hidden wire time")
+	}
+}
+
+// TestOverlapChaosLossParity: the overlap schedule composed with fault
+// injection must still leave training results bit-identical on every
+// backend — faults and overlap both perturb simulated time only.
+func TestOverlapChaosLossParity(t *testing.T) {
+	ds := synthetic.MustLoad("tiny", synthetic.Scale(1))
+	dep := Deploy(ds, 4, GCN, partition.Block)
+	base := confTrainConfig(CodecSancus)
+	base.Faults = chaos.Spec{Seed: 14, Stragglers: 2, SlowFactor: 2, LinkFactor: 3, FailRate: 0.3, MaxRetries: 3, Backoff: 0.02}
+	ref := confTrain(t, dep, base)
+	for _, name := range TransportNames() {
+		cfg := base
+		cfg.Transport = name
+		cfg.TransportOverlap = true
+		compareRuns(t, name+"/overlap+chaos", ref, confTrain(t, dep, cfg), false)
 	}
 }
 
@@ -252,6 +315,52 @@ func (d *scratchDev) RingAll2All(p [][]byte) [][]byte {
 	return out
 }
 
+// eagerWaitDev fakes the split-phase contract by running the blocking
+// collective inside Start: immediate Waits look right, but compute issued
+// between Start and Wait hides nothing — the wire time was already paid.
+type eagerWaitDev struct{ Transport }
+
+type eagerPending struct{ out []byte }
+
+func (p eagerPending) Wait() []byte { return p.out }
+
+func (d eagerWaitDev) StartBroadcast(root int, payload []byte) PendingCollective {
+	return eagerPending{d.Transport.BroadcastBytes(root, payload)}
+}
+
+func (d eagerWaitDev) StartScatter(root int, payloads [][]byte) PendingCollective {
+	return eagerPending{d.Transport.ScatterBytes(root, payloads)}
+}
+
+// lateWaitDev fakes it the other way: Start records the arguments and Wait
+// runs the blocking collective from the current clock — so nothing issued
+// in between is credited as overlap and the wire time is charged late.
+type lateWaitDev struct{ Transport }
+
+type lateBroadcast struct {
+	d       Transport
+	root    int
+	payload []byte
+}
+
+func (p lateBroadcast) Wait() []byte { return p.d.BroadcastBytes(p.root, p.payload) }
+
+type lateScatter struct {
+	d        Transport
+	root     int
+	payloads [][]byte
+}
+
+func (p lateScatter) Wait() []byte { return p.d.ScatterBytes(p.root, p.payloads) }
+
+func (d lateWaitDev) StartBroadcast(root int, payload []byte) PendingCollective {
+	return lateBroadcast{d.Transport, root, payload}
+}
+
+func (d lateWaitDev) StartScatter(root int, payloads [][]byte) PendingCollective {
+	return lateScatter{d.Transport, root, payloads}
+}
+
 func TestConformanceCatchesBrokenTransports(t *testing.T) {
 	cases := []struct {
 		name      string
@@ -261,6 +370,8 @@ func TestConformanceCatchesBrokenTransports(t *testing.T) {
 		{"no-op barrier", brokenFactory(func(d Transport) Transport { return noBarrierDev{d} }), "barrier"},
 		{"uncharged all2all", brokenFactory(func(d Transport) Transport { return unchargedDev{d} }), "all2all-clock-charge"},
 		{"recycled buffers", brokenFactory(func(d Transport) Transport { return &scratchDev{Transport: d} }), "payload-ownership"},
+		{"eager-wait split-phase", brokenFactory(func(d Transport) Transport { return eagerWaitDev{d} }), "overlap-charge"},
+		{"late-wait split-phase", brokenFactory(func(d Transport) Transport { return lateWaitDev{d} }), "overlap-charge"},
 	}
 	for _, tc := range cases {
 		vs := ConformTransport(tc.factory, 4)

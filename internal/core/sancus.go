@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/partition"
 	"repro/internal/tensor"
+	"repro/internal/timing"
 )
 
 // SANCUS (Peng et al., 2022) reimplementation: instead of all2all halo
@@ -77,7 +78,16 @@ func buildSancusTopology(lgs []*partition.LocalGraph) *sancusTopology {
 
 // exchange fills xFull's halo rows from the per-layer historical cache,
 // refreshing it with any broadcasts that happened this epoch.
-func (c *sancusCodec) exchange(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix) error {
+//
+// When overlap is set the broadcasts run split-phase: all n are started
+// before any is consumed, and layer l's central-graph forward compute is
+// charged inside the open wire window — the paper's
+// computation–communication parallelization — so the wire time each
+// device would have idled through lands under timing.Overlap instead.
+// Payload construction, routing and decode order are identical either
+// way, so loss curves do not depend on the schedule; the caller charges
+// the remaining Marginal (overlap) or Total (blocking) compute.
+func (c *sancusCodec) exchange(env *ExchangeEnv, epoch, l int, h, xFull *tensor.Matrix, overlap bool) error {
 	lg := env.Graph
 	n := env.Dev.Size()
 	rank := env.Dev.Rank()
@@ -95,14 +105,28 @@ func (c *sancusCodec) exchange(env *ExchangeEnv, epoch, l int, h, xFull *tensor.
 		broadcast = drift/norm >= env.Cfg.SancusDrift || c.age[l]+1 >= env.Cfg.SancusMaxStale
 	}
 
-	for src := 0; src < n; src++ {
-		var payload []byte
+	payloadFor := func(src int) []byte {
 		if src == rank && broadcast && len(c.topo.boundary[rank]) > 0 {
 			// Broadcast payloads are shared by every receiver and may be
 			// re-read under run-ahead, so they are never pooled.
-			payload = appendAllRows(make([]byte, 0, 4*len(myBoundary.Data)), myBoundary)
+			return appendAllRows(make([]byte, 0, 4*len(myBoundary.Data)), myBoundary)
 		}
-		got := env.Dev.BroadcastBytes(src, payload)
+		return nil
+	}
+	var pending []PendingCollective
+	if overlap {
+		for src := 0; src < n; src++ {
+			pending = append(pending, env.Dev.StartBroadcast(src, payloadFor(src)))
+		}
+		env.Dev.Clock().Advance(timing.Comp, env.ForwardCosts(l).Central)
+	}
+	for src := 0; src < n; src++ {
+		var got []byte
+		if overlap {
+			got = pending[src].Wait()
+		} else {
+			got = env.Dev.BroadcastBytes(src, payloadFor(src))
+		}
 		if src == rank || len(got) == 0 || len(lg.RecvFrom[src]) == 0 {
 			continue
 		}

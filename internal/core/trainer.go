@@ -96,6 +96,7 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 		Model:     model,
 		Workers:   cfg.TransportWorkers,
 		Staleness: cfg.TransportStaleness,
+		Overlap:   cfg.TransportOverlap,
 	})
 
 	res := &metrics.RunResult{

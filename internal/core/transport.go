@@ -47,12 +47,28 @@ type Transport interface {
 	// BroadcastBytes sends root's payload to all devices (sequential
 	// broadcast timing — SANCUS's pattern).
 	BroadcastBytes(root int, payload []byte) []byte
+	// StartBroadcast begins a split-phase broadcast and returns without
+	// blocking; the handle's Wait delivers the payload and charges the
+	// clock via timing.FinishDeferred. Start immediately followed by Wait
+	// is bitwise identical to BroadcastBytes; compute issued between the
+	// two hides wire time, recorded under timing.Overlap.
+	StartBroadcast(root int, payload []byte) PendingCollective
+	// StartScatter is the split-phase form of ScatterBytes under the same
+	// start/wait contract as StartBroadcast.
+	StartScatter(root int, payloads [][]byte) PendingCollective
 	// RawAll2All moves buffers like RingAll2All but charges no time.
 	RawAll2All(payloads [][]byte) [][]byte
 	// RawAllGather shares one buffer from every device with every device,
 	// charging no time.
 	RawAllGather(payload []byte) [][]byte
 }
+
+// PendingCollective is the handle of an in-flight split-phase collective.
+// Wait must be called exactly once per handle, in Start order (FIFO) —
+// the completion schedule is part of the deterministic clock contract.
+// It is an alias of the cluster-level handle so the reference backend's
+// methods satisfy Transport directly.
+type PendingCollective = cluster.PendingBytes
 
 var _ Transport = (*cluster.Device)(nil)
 
@@ -86,6 +102,11 @@ type TransportSpec struct {
 	// of the slowest straggler on async backends (0 = lockstep, matching
 	// the in-process reference bit for bit).
 	Staleness int
+	// Overlap reports that the run's trainer uses the split-phase
+	// schedule (Config.TransportOverlap). Both built-in backends always
+	// provide the split-phase methods, so they ignore it; custom
+	// factories may inspect it.
+	Overlap bool
 	// Faults is the run's materialized fault plan, or nil for a clean
 	// run. Fault injection is applied centrally (the runtime is wrapped
 	// so every device's charged collectives pass through the fault

@@ -53,6 +53,11 @@ const (
 	opBroadcast = "BroadcastBytes"
 	opRawRing   = "RawAll2All"
 	opRawGather = "RawAllGather"
+	// Split-phase ops have their own tags: a run where one device issues
+	// the blocking form and another the split form of the same collective
+	// has diverged and must panic, not corrupt payloads.
+	opStartBroadcast = "StartBroadcast"
+	opStartScatter   = "StartScatter"
 )
 
 // shardedAbort is the sentinel panic that unwinds device goroutines when a
@@ -301,6 +306,33 @@ func (d *shardedDevice) post(op string, bufs [][]byte, mats []*tensor.Matrix) in
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	return seq
+}
+
+// postNoWait publishes this device's part of a split-phase collective
+// without entering the staleness backpressure wait: Start is non-blocking
+// by contract (a device may hold several split handles in flight, and at
+// staleness 0 waiting here would deadlock the start-all/wait-all
+// schedule). The collective still counts against the bound once its Wait
+// completes it, so blocking collectives issued afterwards observe the
+// usual run-ahead limit.
+func (d *shardedDevice) postNoWait(op string, bufs [][]byte) (int, timing.Seconds) {
+	s := d.s
+	seq := d.seq
+	d.seq++
+	start := d.Clock().Now()
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		panic(shardedAbort{})
+	}
+	c := s.collLocked(seq, op)
+	c.posted[d.rank] = true
+	c.at[d.rank] = start
+	c.bufs[d.rank] = bufs
+	c.arrived++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return seq, start
 }
 
 // waitAll blocks until every device has posted sequence seq.
@@ -597,6 +629,148 @@ func (d *shardedDevice) BroadcastBytes(root int, payload []byte) []byte {
 	}
 	d.complete(seq)
 	return buf
+}
+
+// StartBroadcast begins a split-phase broadcast. Start never blocks (not
+// even on the staleness bound); Wait performs the same rendezvous and
+// charges the same (align, wire) schedule as the blocking BroadcastBytes
+// at the current staleness, routed through timing.FinishDeferred so
+// compute issued between Start and Wait hides wire time as Overlap.
+func (d *shardedDevice) StartBroadcast(root int, payload []byte) PendingCollective {
+	var bufs [][]byte
+	if d.rank == root {
+		bufs = [][]byte{payload}
+	}
+	seq, start := d.postNoWait(opStartBroadcast, bufs)
+	return &shardedPending{d: d, seq: seq, op: opStartBroadcast, root: root, start: start}
+}
+
+// StartScatter begins a split-phase scatter under the same contract as
+// StartBroadcast. payloads is only read on root.
+func (d *shardedDevice) StartScatter(root int, payloads [][]byte) PendingCollective {
+	var bufs [][]byte
+	if d.rank == root {
+		if len(payloads) != d.s.n {
+			panic(fmt.Sprintf("core: StartScatter got %d payloads for %d devices", len(payloads), d.s.n))
+		}
+		bufs = payloads
+	}
+	seq, start := d.postNoWait(opStartScatter, bufs)
+	return &shardedPending{d: d, seq: seq, op: opStartScatter, root: root, start: start}
+}
+
+// shardedPending implements PendingCollective for the sharded backend.
+type shardedPending struct {
+	d     *shardedDevice
+	seq   int
+	op    string
+	root  int
+	start timing.Seconds
+	done  bool
+}
+
+func (p *shardedPending) Wait() []byte {
+	if p.done {
+		panic("core: sharded split-phase handle waited twice")
+	}
+	p.done = true
+	if p.op == opStartScatter {
+		return p.d.finishScatter(p)
+	}
+	return p.d.finishBroadcast(p)
+}
+
+// finishBroadcast completes a split-phase broadcast, charging exactly the
+// blocking schedule's (align, wire) pair for the current staleness bound
+// through timing.FinishDeferred.
+func (d *shardedDevice) finishBroadcast(p *shardedPending) []byte {
+	s := d.s
+	root := p.root
+	if s.stale > 0 {
+		c := d.waitRank(p.seq, root)
+		buf := c.bufs[root][0]
+		var t timing.Seconds
+		if d.rank == root {
+			for dst := 0; dst < s.n; dst++ {
+				if dst != root {
+					t += s.model.TransferTime(root, dst, len(buf))
+					s.addBytes(root, dst, len(buf))
+				}
+			}
+		} else {
+			for dst := 0; dst <= d.rank; dst++ {
+				if dst != root {
+					t += s.model.TransferTime(root, dst, len(buf))
+				}
+			}
+		}
+		timing.FinishDeferred(d.Clock(), p.start, c.at[root], t)
+		d.complete(p.seq)
+		return buf
+	}
+	c := d.waitAll(p.seq)
+	buf := c.bufs[root][0]
+	var t timing.Seconds
+	for dst := 0; dst < s.n; dst++ {
+		if dst != root {
+			t += s.model.TransferTime(root, dst, len(buf))
+		}
+	}
+	if d.rank == root {
+		for dst := 0; dst < s.n; dst++ {
+			if dst != root {
+				s.addBytes(root, dst, len(buf))
+			}
+		}
+	}
+	timing.FinishDeferred(d.Clock(), p.start, c.maxAt(), t)
+	d.complete(p.seq)
+	return buf
+}
+
+// finishScatter completes a split-phase scatter (blocking ScatterBytes
+// schedule: max outgoing transfer at rendezvous, or root-only dependency
+// beyond staleness 0).
+func (d *shardedDevice) finishScatter(p *shardedPending) []byte {
+	s := d.s
+	root := p.root
+	if s.stale > 0 {
+		c := d.waitRank(p.seq, root)
+		if d.rank == root {
+			payloads := c.bufs[root]
+			var t timing.Seconds
+			for dst := 0; dst < s.n; dst++ {
+				if dst == root {
+					continue
+				}
+				if tt := s.model.TransferTime(root, dst, len(payloads[dst])); tt > t {
+					t = tt
+				}
+			}
+			timing.FinishDeferred(d.Clock(), p.start, c.at[root], t)
+			d.complete(p.seq)
+			return payloads[root]
+		}
+		out := c.bufs[root][d.rank]
+		timing.FinishDeferred(d.Clock(), p.start, c.at[root],
+			s.model.TransferTime(root, d.rank, len(out)))
+		d.complete(p.seq)
+		return out
+	}
+	c := d.waitAll(p.seq)
+	var t timing.Seconds
+	for dst := 0; dst < s.n; dst++ {
+		if dst == root {
+			continue
+		}
+		if tt := s.model.TransferTime(root, dst, len(c.bufs[root][dst])); tt > t {
+			t = tt
+		}
+	}
+	out := c.bufs[root][d.rank]
+	timing.FinishDeferred(d.Clock(), p.start, c.maxAt(), t)
+	d.complete(p.seq)
+	return out
 }
 
 // RawAll2All moves buffers like RingAll2All but charges no time.

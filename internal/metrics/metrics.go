@@ -22,11 +22,15 @@ type EpochStat struct {
 }
 
 // Breakdown aggregates simulated time by category across one run.
+// Overlap is bookkeeping-only — collective latency hidden behind
+// concurrent compute by a split-phase schedule — and is excluded from
+// Total (the hidden seconds already elapsed under Comp).
 type Breakdown struct {
-	Comm, Comp, Quant, Idle, Assign timing.Seconds
+	Comm, Comp, Quant, Idle, Assign, Overlap timing.Seconds
 }
 
-// Total returns the sum of all categories.
+// Total returns the sum of all wall-clock categories (Overlap excluded:
+// it annotates hidden time, it is not additional time).
 func (b Breakdown) Total() timing.Seconds {
 	return b.Comm + b.Comp + b.Quant + b.Idle + b.Assign
 }
@@ -34,11 +38,12 @@ func (b Breakdown) Total() timing.Seconds {
 // FromClock extracts a Breakdown from a device clock.
 func FromClock(c *timing.Clock) Breakdown {
 	return Breakdown{
-		Comm:   c.Spent(timing.Comm),
-		Comp:   c.Spent(timing.Comp),
-		Quant:  c.Spent(timing.Quant),
-		Idle:   c.Spent(timing.Idle),
-		Assign: c.Spent(timing.Assign),
+		Comm:    c.Spent(timing.Comm),
+		Comp:    c.Spent(timing.Comp),
+		Quant:   c.Spent(timing.Quant),
+		Idle:    c.Spent(timing.Idle),
+		Assign:  c.Spent(timing.Assign),
+		Overlap: c.Spent(timing.Overlap),
 	}
 }
 
@@ -47,7 +52,7 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 	return Breakdown{
 		Comm: b.Comm + o.Comm, Comp: b.Comp + o.Comp,
 		Quant: b.Quant + o.Quant, Idle: b.Idle + o.Idle,
-		Assign: b.Assign + o.Assign,
+		Assign: b.Assign + o.Assign, Overlap: b.Overlap + o.Overlap,
 	}
 }
 
@@ -56,13 +61,13 @@ func (b Breakdown) Scale(f float64) Breakdown {
 	return Breakdown{
 		Comm: b.Comm * timing.Seconds(f), Comp: b.Comp * timing.Seconds(f),
 		Quant: b.Quant * timing.Seconds(f), Idle: b.Idle * timing.Seconds(f),
-		Assign: b.Assign * timing.Seconds(f),
+		Assign: b.Assign * timing.Seconds(f), Overlap: b.Overlap * timing.Seconds(f),
 	}
 }
 
 func (b Breakdown) String() string {
-	return fmt.Sprintf("comm=%.4fs comp=%.4fs quant=%.4fs idle=%.4fs assign=%.4fs",
-		b.Comm, b.Comp, b.Quant, b.Idle, b.Assign)
+	return fmt.Sprintf("comm=%.4fs comp=%.4fs quant=%.4fs idle=%.4fs assign=%.4fs overlap=%.4fs",
+		b.Comm, b.Comp, b.Quant, b.Idle, b.Assign, b.Overlap)
 }
 
 // RunResult is everything one training run produced.
@@ -116,6 +121,53 @@ type FaultStats struct {
 // Any reports whether any fault was injected or any device slowed.
 func (f FaultStats) Any() bool {
 	return f.Stragglers > 0 || f.Retries > 0 || f.Crashes > 0
+}
+
+// PhaseBreakdown is one device's per-phase simulated time — the
+// structured form of the Fig. 10 breakdown for programmatic consumers
+// (examples, dashboards), replacing hand-rolled per-field prints.
+// Overlap is hidden — not additional — time; see Breakdown.
+type PhaseBreakdown struct {
+	Device  int
+	Comp    timing.Seconds
+	Comm    timing.Seconds
+	Quant   timing.Seconds
+	Idle    timing.Seconds
+	Assign  timing.Seconds
+	Overlap timing.Seconds
+}
+
+// Total returns the device's wall-clock phase sum (Overlap excluded).
+func (p PhaseBreakdown) Total() timing.Seconds {
+	return p.Comp + p.Comm + p.Quant + p.Idle + p.Assign
+}
+
+func (p PhaseBreakdown) String() string {
+	return fmt.Sprintf("dev %d: comp=%.4fs comm=%.4fs quant=%.4fs idle=%.4fs assign=%.4fs overlap=%.4fs",
+		p.Device, p.Comp, p.Comm, p.Quant, p.Idle, p.Assign, p.Overlap)
+}
+
+// Phases returns the per-device phase breakdowns of the run.
+func (r *RunResult) Phases() []PhaseBreakdown {
+	out := make([]PhaseBreakdown, len(r.PerDevice))
+	for i, b := range r.PerDevice {
+		out[i] = PhaseBreakdown{
+			Device: i,
+			Comp:   b.Comp, Comm: b.Comm, Quant: b.Quant,
+			Idle: b.Idle, Assign: b.Assign, Overlap: b.Overlap,
+		}
+	}
+	return out
+}
+
+// OverlapSeconds sums the hidden collective latency across all devices
+// (zero unless the run used the split-phase overlap schedule).
+func (r *RunResult) OverlapSeconds() timing.Seconds {
+	var t timing.Seconds
+	for _, b := range r.PerDevice {
+		t += b.Overlap
+	}
+	return t
 }
 
 // Throughput returns steady-state epochs per simulated second, excluding

@@ -117,6 +117,12 @@ const (
 	Quant
 	Idle // barrier wait
 	Assign
+	// Overlap is bookkeeping-only: collective latency that a split-phase
+	// start/wait pair hid behind concurrent compute. It never advances the
+	// clock (the hidden seconds already elapsed under Comp) and is excluded
+	// from wall-clock totals; it exists so breakdowns show how much wire
+	// time a schedule managed to hide instead of charging to Comm/Idle.
+	Overlap
 )
 
 func (c Category) String() string {
@@ -131,6 +137,8 @@ func (c Category) String() string {
 		return "idle"
 	case Assign:
 		return "assign"
+	case Overlap:
+		return "overlap"
 	}
 	return fmt.Sprintf("Category(%d)", int(c))
 }
@@ -158,6 +166,54 @@ func (c *Clock) AdvanceTo(cat Category, t Seconds) {
 	if t > c.now {
 		c.Advance(cat, t-c.now)
 	}
+}
+
+// AddOverlap records dt seconds of collective latency hidden behind
+// concurrent compute. Unlike Advance it never moves the clock: the hidden
+// time already elapsed (charged to Comp by the work that hid it), so this
+// only annotates the breakdown. Non-positive dt is a no-op.
+func (c *Clock) AddOverlap(dt Seconds) {
+	if dt > 0 {
+		c.breakdown[Overlap] += dt
+	}
+}
+
+// FinishDeferred charges the completion of a split-phase collective whose
+// Start was issued at time start, whose payload alignment point (the
+// blocking path's barrier/post rendezvous) is align, and whose wire time
+// is wire. It is the single charging rule every backend's Wait must call,
+// so clocks stay bit-identical across transports:
+//
+//   - If the device arrives at Wait no later than align, it executes
+//     exactly the blocking sequence — idle to align, then charge the wire
+//     time — so Start immediately followed by Wait is bitwise identical
+//     to the blocking collective. Any compute done since Start shortened
+//     the idle wait and is recorded as Overlap.
+//   - If it arrives after the collective completed (align+wire), the
+//     whole window was hidden: nothing is charged, Overlap records the
+//     hidden span.
+//   - In between, the remaining tail of the wire time is charged to Comm
+//     and the part that ran concurrently with compute becomes Overlap.
+//
+// Invariant: ΔComm + ΔIdle + ΔOverlap = (align + wire) − start (clamped
+// at zero), i.e. the full latency of the collective is always accounted,
+// split between paid and hidden time.
+func FinishDeferred(c *Clock, start, align, wire Seconds) {
+	now := c.Now()
+	if now <= align {
+		hid := now - start
+		c.AdvanceTo(Idle, align)
+		c.Advance(Comm, wire)
+		c.AddOverlap(hid)
+		return
+	}
+	ready := align + wire
+	if now >= ready {
+		c.AddOverlap(ready - start)
+		return
+	}
+	c.AddOverlap(now - start)
+	c.Advance(Comm, ready-now)
 }
 
 // Breakdown returns a copy of the per-category totals.

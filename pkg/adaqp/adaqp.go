@@ -137,6 +137,11 @@ type (
 	EpochStat = metrics.EpochStat
 	// Breakdown aggregates simulated time by category.
 	Breakdown = metrics.Breakdown
+	// PhaseBreakdown is one device's per-phase simulated time
+	// (Comp/Comm/Quant/Idle/Assign/Overlap), via Result.Phases — the
+	// structured form of the Fig. 10 breakdown for programmatic
+	// consumers.
+	PhaseBreakdown = metrics.PhaseBreakdown
 	// Summary holds mean ± std over repeated runs.
 	Summary = metrics.Summary
 	// FaultStats counts a run's injected faults and recovery work.
@@ -213,14 +218,22 @@ const (
 
 // Transport is the device-side communication surface; Runtime launches
 // one Transport per device. A RuntimeFactory builds a Runtime from a
-// TransportSpec (device count, cost model, worker pool size, staleness
-// bound).
+// RuntimeSpec (device count, cost model, worker pool size, staleness
+// bound, overlap flag, fault plan).
+//
+// RuntimeSpec was previously exported as TransportSpec; that name now
+// names the grouped WithTransport option instead.
 type (
 	Transport      = core.Transport
 	Runtime        = core.Runtime
 	RuntimeFactory = core.RuntimeFactory
-	TransportSpec  = core.TransportSpec
+	RuntimeSpec    = core.TransportSpec
 )
+
+// PendingCollective is the handle of an in-flight split-phase collective
+// (Transport.StartBroadcast / StartScatter). Wait must be called exactly
+// once per handle, in Start order.
+type PendingCollective = core.PendingCollective
 
 // RegisterTransport makes a runtime backend selectable by name.
 func RegisterTransport(name string, f RuntimeFactory) { core.RegisterTransport(name, f) }
@@ -238,8 +251,9 @@ const (
 	// per device, synchronous collectives.
 	TransportInprocess = core.TransportInprocess
 	// TransportShardedAsync multiplexes devices onto a bounded worker pool
-	// (WithWorkers) with non-blocking sends that let fast devices run
-	// ahead of stragglers up to WithStalenessBound collectives.
+	// (TransportSpec.Workers) with non-blocking sends that let fast
+	// devices run ahead of stragglers up to TransportSpec.Staleness
+	// collectives.
 	TransportShardedAsync = core.TransportShardedAsync
 )
 
@@ -249,8 +263,11 @@ type TransportViolation = core.Violation
 
 // VerifyTransport checks a runtime backend against the Transport
 // collective contract (payload delivery, buffer ownership, simulated
-// clock charging, byte accounting) with parts devices, returning nil when
-// it conforms. Run it against any custom backend before training on it.
+// clock charging — including the split-phase overlap charging rule, i.e.
+// that compute issued between Start and Wait hides wire time under the
+// Overlap phase — and byte accounting) with parts devices, returning nil
+// when it conforms. Run it against any custom backend before training on
+// it.
 func VerifyTransport(f RuntimeFactory, parts int) []TransportViolation {
 	return core.ConformTransport(f, parts)
 }

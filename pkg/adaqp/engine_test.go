@@ -72,11 +72,11 @@ func TestOptionValidation(t *testing.T) {
 
 func TestUnknownCodecAndTransportRejected(t *testing.T) {
 	ds := adaqp.MustLoadDataset("tiny", 1)
-	_, err := adaqp.New(ds, adaqp.WithCodec("no-such-codec"))
+	_, err := adaqp.New(ds, adaqp.WithCodec(adaqp.CodecSpec{Name: "no-such-codec"}))
 	if err == nil || !strings.Contains(err.Error(), "no-such-codec") {
 		t.Fatalf("unknown codec must be rejected by name: %v", err)
 	}
-	_, err = adaqp.New(ds, adaqp.WithTransport("no-such-transport"))
+	_, err = adaqp.New(ds, adaqp.WithTransport(adaqp.TransportSpec{Name: "no-such-transport"}))
 	if err == nil || !strings.Contains(err.Error(), "no-such-transport") {
 		t.Fatalf("unknown transport must be rejected by name: %v", err)
 	}
@@ -123,7 +123,7 @@ func TestCustomCodecRegistration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Run(adaqp.WithMethod(adaqp.Vanilla), adaqp.WithCodec("test-delegating-fp32"))
+	got, err := eng.Run(adaqp.WithMethod(adaqp.Vanilla), adaqp.WithCodec(adaqp.CodecSpec{Name: "test-delegating-fp32"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,14 +150,14 @@ func TestCompressionCodecsTrainPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, codec := range []string{adaqp.CodecEFQuant, adaqp.CodecTopK, adaqp.CodecDelta} {
-		a, err := eng.Run(adaqp.WithCodec(codec))
+		a, err := eng.Run(adaqp.WithCodec(adaqp.CodecSpec{Name: codec}))
 		if err != nil {
 			t.Fatalf("%s: %v", codec, err)
 		}
 		if a.Codec != codec {
 			t.Fatalf("run recorded codec %q, want %q", a.Codec, codec)
 		}
-		b, err := eng.Run(adaqp.WithCodec(codec))
+		b, err := eng.Run(adaqp.WithCodec(adaqp.CodecSpec{Name: codec}))
 		if err != nil {
 			t.Fatalf("%s: %v", codec, err)
 		}
@@ -369,14 +369,13 @@ func TestShardedTransportPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lockstep, err := eng.Run(adaqp.WithTransport(adaqp.TransportShardedAsync))
+	lockstep, err := eng.Run(adaqp.WithTransport(adaqp.TransportSpec{Name: adaqp.TransportShardedAsync}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	async, err := eng.Run(
-		adaqp.WithTransport(adaqp.TransportShardedAsync),
-		adaqp.WithWorkers(2),
-		adaqp.WithStalenessBound(8))
+	async, err := eng.Run(adaqp.WithTransport(adaqp.TransportSpec{
+		Name: adaqp.TransportShardedAsync, Workers: 2, Staleness: 8,
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,14 +394,20 @@ func TestShardedTransportPublicAPI(t *testing.T) {
 		t.Fatalf("staleness-8 wall-clock %v exceeds synchronous %v", async.WallClock, ref.WallClock)
 	}
 	for name, opt := range map[string]adaqp.Option{
-		"workers":   adaqp.WithWorkers(-1),
-		"staleness": adaqp.WithStalenessBound(-1),
+		"workers":           adaqp.WithWorkers(-1),
+		"staleness":         adaqp.WithStalenessBound(-1),
+		"spec-workers":      adaqp.WithTransport(adaqp.TransportSpec{Workers: -1}),
+		"spec-staleness":    adaqp.WithTransport(adaqp.TransportSpec{Staleness: -1}),
+		"spec-bits":         adaqp.WithCodec(adaqp.CodecSpec{UniformBits: 3}),
+		"spec-density":      adaqp.WithCodec(adaqp.CodecSpec{TopKDensity: 1.5}),
+		"spec-keyframe":     adaqp.WithCodec(adaqp.CodecSpec{DeltaKeyframeEvery: -2}),
+		"spec-sancus-drift": adaqp.WithCodec(adaqp.CodecSpec{SancusMaxStale: 3}),
 	} {
 		if _, err := adaqp.New(ds, opt); err == nil {
 			t.Fatalf("option %q with a negative value must error", name)
 		}
 	}
-	if vs := adaqp.VerifyTransport(func(spec adaqp.TransportSpec) adaqp.Runtime {
+	if vs := adaqp.VerifyTransport(func(spec adaqp.RuntimeSpec) adaqp.Runtime {
 		f, err := adaqp.LookupTransport(adaqp.TransportShardedAsync)
 		if err != nil {
 			t.Fatal(err)

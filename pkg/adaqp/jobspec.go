@@ -23,6 +23,9 @@ type JobSpec struct {
 	Transport string `json:"transport,omitempty"` // runtime backend
 	Workers   int    `json:"workers,omitempty"`
 	Staleness int    `json:"staleness,omitempty"`
+	// Overlap enables the split-phase collective schedule that hides
+	// wire time behind central-graph compute (TransportSpec.Overlap).
+	Overlap bool `json:"overlap,omitempty"`
 
 	Parts  int `json:"parts,omitempty"`
 	Epochs int `json:"epochs,omitempty"`
@@ -87,19 +90,22 @@ func (j JobSpec) Options() ([]Option, error) {
 		if _, err := LookupCodec(j.Codec); err != nil {
 			return nil, err
 		}
-		opts = append(opts, WithCodec(j.Codec))
 	}
 	if j.Transport != "" {
 		if _, err := LookupTransport(j.Transport); err != nil {
 			return nil, err
 		}
-		opts = append(opts, WithTransport(j.Transport))
 	}
-	if j.Workers != 0 {
-		opts = append(opts, WithWorkers(j.Workers))
-	}
-	if j.Staleness != 0 {
-		opts = append(opts, WithStalenessBound(j.Staleness))
+	// The transport and codec fields map onto the grouped specs — the
+	// same structs programmatic callers hand to WithTransport/WithCodec —
+	// so the JSON/flag path and the Go API cannot drift.
+	if j.Transport != "" || j.Workers != 0 || j.Staleness != 0 || j.Overlap {
+		opts = append(opts, WithTransport(TransportSpec{
+			Name:      j.Transport,
+			Workers:   j.Workers,
+			Staleness: j.Staleness,
+			Overlap:   j.Overlap,
+		}))
 	}
 	if j.Parts != 0 {
 		opts = append(opts, WithParts(j.Parts))
@@ -131,14 +137,13 @@ func (j JobSpec) Options() ([]Option, error) {
 	if j.ReassignPeriod != 0 {
 		opts = append(opts, WithReassignPeriod(j.ReassignPeriod))
 	}
-	if j.UniformBits != 0 {
-		opts = append(opts, WithUniformBits(j.UniformBits))
-	}
-	if j.TopKDensity != 0 {
-		opts = append(opts, WithTopKDensity(j.TopKDensity))
-	}
-	if j.DeltaKeyframe != 0 {
-		opts = append(opts, WithDeltaKeyframe(j.DeltaKeyframe))
+	if j.Codec != "" || j.UniformBits != 0 || j.TopKDensity != 0 || j.DeltaKeyframe != 0 {
+		opts = append(opts, WithCodec(CodecSpec{
+			Name:               j.Codec,
+			UniformBits:        j.UniformBits,
+			TopKDensity:        j.TopKDensity,
+			DeltaKeyframeEvery: j.DeltaKeyframe,
+		}))
 	}
 	if j.Seed != 0 {
 		opts = append(opts, WithSeed(j.Seed))

@@ -86,19 +86,112 @@ func WithCostModel(m *CostModel) Option {
 	}
 }
 
-// WithCodec overrides the message codec (any name in Codecs()); the
-// empty default derives the codec from the method.
-func WithCodec(name string) Option {
+// TransportSpec groups every transport-facing knob behind one option:
+// which runtime backend moves bytes and how it schedules devices. The
+// zero value of every field is the engine default, and WithTransport
+// replaces the whole transport configuration with the spec — unlike the
+// per-knob options it supersedes, two WithTransport calls do not merge.
+type TransportSpec struct {
+	// Name selects the runtime backend (any name in Transports());
+	// empty selects TransportInprocess.
+	Name string
+	// Workers bounds how many simulated devices execute concurrently on
+	// backends that multiplex devices onto a worker pool
+	// (TransportShardedAsync); 0 uses one worker per available CPU. The
+	// in-process backend ignores it.
+	Workers int
+	// Staleness is how many collective operations a device may run ahead
+	// of the slowest straggler on async backends. 0 keeps lockstep
+	// semantics — results and simulated clocks bit-identical to the
+	// in-process reference; positive bounds keep results bit-identical
+	// but let fast devices overlap one-to-many collectives with
+	// stragglers' work, reducing simulated idle time. The in-process
+	// backend ignores it.
+	Staleness int
+	// Overlap switches the trainer's exchange loop to the split-phase
+	// collective schedule: an exchange's sends all start before any is
+	// consumed, so wire time hides behind central-graph compute and is
+	// recorded under the Overlap phase instead of charged to Comm/Idle.
+	// Payload routing is unchanged — fixed-seed loss curves stay
+	// bit-identical to the blocking schedule on every backend.
+	Overlap bool
+}
+
+// WithTransport sets the run's transport configuration to spec.
+func WithTransport(spec TransportSpec) Option {
 	return func(s *settings) error {
-		s.cfg.Codec = name
+		if spec.Workers < 0 {
+			return fmt.Errorf("adaqp: workers must be >= 0, got %d", spec.Workers)
+		}
+		if spec.Staleness < 0 {
+			return fmt.Errorf("adaqp: staleness bound must be >= 0, got %d", spec.Staleness)
+		}
+		s.cfg.Transport = spec.Name
+		s.cfg.TransportWorkers = spec.Workers
+		s.cfg.TransportStaleness = spec.Staleness
+		s.cfg.TransportOverlap = spec.Overlap
 		return nil
 	}
 }
 
-// WithTransport selects the runtime backend (any name in Transports()).
-func WithTransport(name string) Option {
+// CodecSpec groups the message-codec selection and its per-codec knobs
+// behind one option. Unlike TransportSpec, zero-valued fields keep the
+// engine's current setting (every codec knob's default is non-zero), so
+// a spec overrides only what it names.
+type CodecSpec struct {
+	// Name overrides the message codec (any name in Codecs()); empty
+	// keeps the current selection (by default, derived from the method).
+	Name string
+	// UniformBits is the width the uniform and ef-quant codecs quantize
+	// at: 2, 4, 8, or 32 for the full-precision passthrough (default 2).
+	UniformBits int
+	// TopKDensity is the fraction of each row's entries the topk codec
+	// keeps, in (0, 1] (default 0.1).
+	TopKDensity float64
+	// DeltaKeyframeEvery is how often (in epochs) the delta codec ships a
+	// full-precision keyframe instead of a quantized residual (default 10).
+	DeltaKeyframeEvery int
+	// SancusDrift and SancusMaxStale are SANCUS's staleness controls:
+	// re-broadcast when relative drift exceeds SancusDrift (default 0.05),
+	// or at the latest every SancusMaxStale epochs (default 8). Set both
+	// together.
+	SancusDrift    float64
+	SancusMaxStale int
+}
+
+// WithCodec applies the non-zero fields of spec to the run's codec
+// configuration.
+func WithCodec(spec CodecSpec) Option {
 	return func(s *settings) error {
-		s.cfg.Transport = name
+		if spec.Name != "" {
+			s.cfg.Codec = spec.Name
+		}
+		if spec.UniformBits != 0 {
+			b, err := parseBits(spec.UniformBits)
+			if err != nil {
+				return err
+			}
+			s.cfg.UniformBits = b
+		}
+		if spec.TopKDensity != 0 {
+			if !(spec.TopKDensity > 0 && spec.TopKDensity <= 1) { // written to also reject NaN
+				return fmt.Errorf("adaqp: top-k density must be in (0,1], got %v", spec.TopKDensity)
+			}
+			s.cfg.TopKDensity = spec.TopKDensity
+		}
+		if spec.DeltaKeyframeEvery != 0 {
+			if spec.DeltaKeyframeEvery < 1 {
+				return fmt.Errorf("adaqp: delta keyframe period must be >= 1, got %d", spec.DeltaKeyframeEvery)
+			}
+			s.cfg.DeltaKeyframeEvery = spec.DeltaKeyframeEvery
+		}
+		if spec.SancusDrift != 0 || spec.SancusMaxStale != 0 {
+			if spec.SancusDrift <= 0 || spec.SancusMaxStale < 1 {
+				return fmt.Errorf("adaqp: sancus drift must be positive and maxStale >= 1")
+			}
+			s.cfg.SancusDrift = spec.SancusDrift
+			s.cfg.SancusMaxStale = spec.SancusMaxStale
+		}
 		return nil
 	}
 }
@@ -107,6 +200,8 @@ func WithTransport(name string) Option {
 // transports that multiplex devices onto a worker pool (TransportShardedAsync).
 // 0 (the default) uses one worker per available CPU; the in-process
 // transport ignores it.
+//
+// Deprecated: set Workers in WithTransport's TransportSpec instead.
 func WithWorkers(n int) Option {
 	return func(s *settings) error {
 		if n < 0 {
@@ -123,6 +218,8 @@ func WithWorkers(n int) Option {
 // the in-process reference; positive bounds keep results bit-identical but
 // let fast devices overlap one-to-many collectives with stragglers' work,
 // reducing simulated idle time. The in-process transport ignores it.
+//
+// Deprecated: set Staleness in WithTransport's TransportSpec instead.
 func WithStalenessBound(n int) Option {
 	return func(s *settings) error {
 		if n < 0 {
@@ -231,6 +328,8 @@ func parseBits(bits int) (quant.BitWidth, error) {
 
 // WithUniformBits sets the width AdaQPUniform (and the uniform codec)
 // quantizes at: 2, 4, 8, or 32 for the full-precision passthrough.
+//
+// Deprecated: set UniformBits in WithCodec's CodecSpec instead.
 func WithUniformBits(bits int) Option {
 	return func(s *settings) error {
 		b, err := parseBits(bits)
@@ -244,6 +343,8 @@ func WithUniformBits(bits int) Option {
 
 // WithTopKDensity sets the fraction of each row's entries the topk codec
 // keeps, in (0, 1] (default 0.1).
+//
+// Deprecated: set TopKDensity in WithCodec's CodecSpec instead.
 func WithTopKDensity(d float64) Option {
 	return func(s *settings) error {
 		if !(d > 0 && d <= 1) { // written to also reject NaN
@@ -257,6 +358,8 @@ func WithTopKDensity(d float64) Option {
 // WithDeltaKeyframe sets how often (in epochs) the delta codec ships a
 // full-precision keyframe instead of a quantized residual against the
 // previous epoch's payload (default 10).
+//
+// Deprecated: set DeltaKeyframeEvery in WithCodec's CodecSpec instead.
 func WithDeltaKeyframe(every int) Option {
 	return func(s *settings) error {
 		if every < 1 {
@@ -269,6 +372,9 @@ func WithDeltaKeyframe(every int) Option {
 
 // WithSancus sets SANCUS's staleness controls: re-broadcast when relative
 // drift exceeds drift, or at the latest every maxStale epochs.
+//
+// Deprecated: set SancusDrift/SancusMaxStale in WithCodec's CodecSpec
+// instead.
 func WithSancus(drift float64, maxStale int) Option {
 	return func(s *settings) error {
 		if drift <= 0 || maxStale < 1 {

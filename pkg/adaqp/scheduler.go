@@ -117,11 +117,12 @@ type Scheduler struct {
 	dsMu    sync.Mutex
 	dsCache map[dsKey]*Dataset
 
-	// faultMu guards faults: fault/recovery counters accumulated across
+	// faultMu guards faults and overlap: counters accumulated across
 	// every completed session (survives session eviction, so the daemon's
 	// metrics stay monotonic).
 	faultMu sync.Mutex
 	faults  FaultStats
+	overlap Seconds
 }
 
 type dsKey struct {
@@ -171,8 +172,8 @@ func (sc *Scheduler) Submit(ds *Dataset, opts ...Option) (*SessionHandle, error)
 			return nil, err
 		}
 		res, err := session.RunContext(ctx)
-		if res != nil && res.Faults.Any() {
-			sc.addFaults(res.Faults)
+		if res != nil {
+			sc.record(res)
 		}
 		return res, err
 	}
@@ -246,13 +247,21 @@ func (sc *Scheduler) Cancel(id string) bool { return sc.s.Cancel(id) }
 // removing a queued or running session fails with ErrSessionNotTerminal.
 func (sc *Scheduler) Remove(id string) (bool, error) { return sc.s.Remove(id) }
 
-func (sc *Scheduler) addFaults(f FaultStats) {
+// record folds one finished session's fault counters and hidden collective
+// latency into the scheduler's lifetime totals.
+func (sc *Scheduler) record(res *Result) {
+	f := res.Faults
+	ovl := res.OverlapSeconds()
+	if !f.Any() && ovl == 0 {
+		return
+	}
 	sc.faultMu.Lock()
 	sc.faults.Stragglers += f.Stragglers
 	sc.faults.Retries += f.Retries
 	sc.faults.RetryTime += f.RetryTime
 	sc.faults.Crashes += f.Crashes
 	sc.faults.RecoveryTime += f.RecoveryTime
+	sc.overlap += ovl
 	sc.faultMu.Unlock()
 }
 
@@ -262,6 +271,15 @@ func (sc *Scheduler) FaultTotals() FaultStats {
 	sc.faultMu.Lock()
 	defer sc.faultMu.Unlock()
 	return sc.faults
+}
+
+// OverlapTotal returns the simulated seconds of collective wire time hidden
+// behind compute (the split-phase overlap schedule) summed across every
+// completed session, monotonic like FaultTotals.
+func (sc *Scheduler) OverlapTotal() Seconds {
+	sc.faultMu.Lock()
+	defer sc.faultMu.Unlock()
+	return sc.overlap
 }
 
 // Drain stops admission (Submit returns ErrDraining) and waits for every

@@ -267,7 +267,7 @@ func TestJobSpecOptionsMatchExplicit(t *testing.T) {
 	spec := JobSpec{
 		Dataset: "tiny", Scale: 0.5,
 		Model: "sage", Method: "uniform", Codec: CodecEFQuant,
-		Transport: TransportShardedAsync, Workers: 2, Staleness: 3,
+		Transport: TransportShardedAsync, Workers: 2, Staleness: 3, Overlap: true,
 		Parts: 3, Epochs: 9, Layers: 2, Hidden: 24, LR: 0.02,
 		Dropout: &dropout, Lambda: &lambda, EvalEvery: &evalEvery,
 		GroupSize: 50, ReassignPeriod: 7, UniformBits: 4,
@@ -284,12 +284,12 @@ func TestJobSpecOptionsMatchExplicit(t *testing.T) {
 
 	explicit := defaultSettings()
 	if err := explicit.apply([]Option{
-		WithModel(GraphSAGE), WithMethod(AdaQPUniform), WithCodec(CodecEFQuant),
-		WithTransport(TransportShardedAsync), WithWorkers(2), WithStalenessBound(3),
+		WithModel(GraphSAGE), WithMethod(AdaQPUniform),
+		WithCodec(CodecSpec{Name: CodecEFQuant, UniformBits: 4, TopKDensity: 0.2, DeltaKeyframeEvery: 5}),
+		WithTransport(TransportSpec{Name: TransportShardedAsync, Workers: 2, Staleness: 3, Overlap: true}),
 		WithParts(3), WithEpochs(9), WithLayers(2), WithHidden(24), WithLR(0.02),
 		WithDropout(0), WithLambda(0.25), WithEvalEvery(0),
-		WithGroupSize(50), WithReassignPeriod(7), WithUniformBits(4),
-		WithTopKDensity(0.2), WithDeltaKeyframe(5), WithSeed(11),
+		WithGroupSize(50), WithReassignPeriod(7), WithSeed(11),
 	}); err != nil {
 		t.Fatal(err)
 	}
