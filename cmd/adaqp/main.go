@@ -26,10 +26,14 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/wire"
 	"repro/pkg/adaqp"
 )
 
 func main() {
+	// The proc-sharded transport re-executes this binary as its worker
+	// processes; in that mode the process never reaches flag parsing.
+	wire.MaybeWorker()
 	var (
 		dataset  = flag.String("dataset", "tiny", "dataset name: "+strings.Join(adaqp.DatasetNames(), ", "))
 		scale    = flag.Float64("scale", 1, "dataset scale factor")
@@ -40,6 +44,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for pooled transports (0 = one per CPU)")
 		stale    = flag.Int("staleness", 0, "collectives a device may run ahead on async transports")
 		overlap  = flag.Bool("overlap", false, "split-phase collectives: hide broadcast wire time behind central-graph compute")
+		sockDir  = flag.String("socket-dir", "", "socket directory root for the proc-sharded transport (empty = system temp)")
 		parts    = flag.Int("parts", 4, "number of devices")
 		epochs   = flag.Int("epochs", 100, "training epochs")
 		hidden   = flag.Int("hidden", 256, "hidden dimension")
@@ -92,7 +97,7 @@ func main() {
 		Dataset: *dataset, Scale: *scale,
 		Model: *model, Method: *method,
 		Codec: *codec, Transport: *tport,
-		Workers: *workers, Staleness: *stale, Overlap: *overlap,
+		Workers: *workers, Staleness: *stale, Overlap: *overlap, SocketDir: *sockDir,
 		Parts: *parts, Epochs: *epochs, Hidden: *hidden,
 		LR: *lr, Dropout: dropout, Lambda: lambda, EvalEvery: evalEach,
 		GroupSize: *group, ReassignPeriod: *period,

@@ -192,6 +192,11 @@ type Config struct {
 	// default.
 	TransportOverlap bool
 
+	// TransportSocketDir roots the per-run Unix-domain socket directories
+	// of socket-backed transports (proc-sharded). Empty uses the system
+	// temp directory; in-memory backends ignore it.
+	TransportSocketDir string
+
 	// transportFactory, when non-nil, builds the run's runtime directly,
 	// bypassing the registry lookup. It is the transport-conformance
 	// harness's seam, mirroring codecFactory: chaos-mode conformance

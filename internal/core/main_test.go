@@ -1,0 +1,17 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestMain lets this test binary serve as its own proc-sharded worker:
+// the conformance suites iterate every registered backend, and the
+// proc-sharded runs re-execute the running binary to get their worker
+// processes (wire.MaybeWorker never returns in that mode).
+func TestMain(m *testing.M) {
+	wire.MaybeWorker()
+	os.Exit(m.Run())
+}

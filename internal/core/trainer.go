@@ -97,6 +97,7 @@ func TrainDeployedCtx(ctx context.Context, dep *Deployment, cfg Config, model *t
 		Workers:   cfg.TransportWorkers,
 		Staleness: cfg.TransportStaleness,
 		Overlap:   cfg.TransportOverlap,
+		SocketDir: cfg.TransportSocketDir,
 	})
 
 	res := &metrics.RunResult{

@@ -103,10 +103,14 @@ type TransportSpec struct {
 	// the in-process reference bit for bit).
 	Staleness int
 	// Overlap reports that the run's trainer uses the split-phase
-	// schedule (Config.TransportOverlap). Both built-in backends always
+	// schedule (Config.TransportOverlap). The built-in backends always
 	// provide the split-phase methods, so they ignore it; custom
 	// factories may inspect it.
 	Overlap bool
+	// SocketDir is where socket-backed backends (TransportProcSharded)
+	// root their per-run Unix-domain socket directories; empty uses the
+	// system temp directory. In-memory backends ignore it.
+	SocketDir string
 	// Faults is the run's materialized fault plan, or nil for a clean
 	// run. Fault injection is applied centrally (the runtime is wrapped
 	// so every device's charged collectives pass through the fault

@@ -136,3 +136,81 @@ func TestRemoveTerminalOnly(t *testing.T) {
 	}
 	s.Drain(context.Background())
 }
+
+// TestCanceledQueuedSessionFreesSlotAndEvicts covers the admission-queue
+// gap: a job canceled while still queued — its session never started —
+// must still release its queue slot once a worker discards it, count as
+// Canceled, and be evictable under MaxRetained exactly like any other
+// terminal session.
+func TestCanceledQueuedSessionFreesSlotAndEvicts(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueDepth: 2, MaxRetained: 1})
+	defer s.Drain(context.Background())
+	started := make(chan string, 1)
+	release := make(chan struct{})
+
+	running, err := s.Submit(blockingRun(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now occupied
+	q1, err := s.Submit(blockingRun(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := s.Submit(blockingRun(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: the admission slots are exhausted.
+	if _, err := s.Submit(instantRun(nil)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error = %v, want ErrQueueFull", err)
+	}
+
+	// Cancel both queued sessions before they ever start.
+	for _, sess := range []*Session{q1, q2} {
+		if !s.Cancel(sess.ID()) {
+			t.Fatalf("Cancel(%s) = false for a queued session", sess.ID())
+		}
+	}
+
+	// Let the worker go: it finishes the running session, then dequeues
+	// and discards both canceled ones, recording their finish without
+	// running them.
+	close(release)
+	if _, err := running.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sess := range []*Session{q1, q2} {
+		waitTerminalRecorded(t, sess)
+		if got := sess.Status(); got != Canceled {
+			t.Errorf("session %s status = %v, want Canceled", sess.ID(), got)
+		}
+		if _, start, _ := sess.Times(); !start.IsZero() {
+			t.Errorf("session %s has a start time but was canceled while queued", sess.ID())
+		}
+	}
+	if got := s.Counters().Canceled; got != 2 {
+		t.Errorf("canceled counter = %d, want 2", got)
+	}
+
+	// The discarded sessions freed their queue slots: a fresh submission
+	// is admitted and runs.
+	waitTerminalRecorded(t, running)
+	fresh, err := s.Submit(instantRun("fresh"))
+	if err != nil {
+		t.Fatalf("submit after canceled sessions drained: %v", err)
+	}
+	if _, err := fresh.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// That submission also triggered eviction: three terminal records
+	// existed (done + two canceled) against MaxRetained=1, so the oldest
+	// — including the canceled-while-queued ones — must be gone.
+	if _, ok := s.Session(running.ID()); ok {
+		t.Error("oldest terminal session survived MaxRetained=1")
+	}
+	if _, ok := s.Session(q1.ID()); ok {
+		t.Error("canceled-while-queued session survived MaxRetained=1 eviction")
+	}
+}

@@ -1,0 +1,238 @@
+// Package wire is the process plumbing behind the proc-sharded transport
+// backend: a length-prefixed binary frame format plus the parent/worker
+// machinery that moves those frames between OS processes over Unix-domain
+// sockets. The parent process runs the simulated devices and their clocks;
+// every collective payload is serialized into a frame, shipped to the
+// worker process owning the source rank's shard, routed (possibly through
+// a second worker) and delivered back to the parent for the destination
+// rank — so codec wire formats cross a real kernel socket instead of being
+// handed over as pointers.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     length of the rest of the frame (header + payload)
+//	4       1     format version (currently 1)
+//	5       1     op (OpHello, OpReady, OpData, OpShutdown, OpStats)
+//	6       4     seq — collective sequence number
+//	10      2     src rank
+//	12      2     dst rank
+//	14      ...   payload (length − 10 bytes)
+//
+// The format is fixed by the golden fixtures under testdata/ — changing it
+// is a wire-protocol break and must update those fixtures deliberately.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+)
+
+const (
+	// Version is the format version byte every frame carries.
+	Version = 1
+
+	prefixLen = 4  // u32 length prefix
+	headerLen = 10 // version + op + seq + src + dst
+
+	// FrameOverhead is the framed size of an empty payload: the length
+	// prefix plus the fixed header.
+	FrameOverhead = prefixLen + headerLen
+
+	// MaxPayload bounds a single frame's payload. The limit exists so a
+	// corrupted or hostile length prefix is rejected up front instead of
+	// driving a multi-gigabyte read loop.
+	MaxPayload = 1 << 28
+)
+
+// Frame ops. OpHello identifies a freshly dialed connection (Src is the
+// dialer: a worker index, or ParentID for the parent). OpReady is a
+// worker's startup acknowledgment to the parent. OpData carries one
+// collective payload from Src to Dst. OpShutdown asks a worker to stop;
+// it answers with OpStats (its data-plane accounting) and exits.
+const (
+	OpHello byte = iota + 1
+	OpReady
+	OpData
+	OpShutdown
+	OpStats
+)
+
+// ParentID marks the parent process in an OpHello Src field. Device ranks
+// are uint16, so a runtime may have at most ParentID devices.
+const ParentID = 0xFFFF
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Op       byte
+	Seq      uint32
+	Src, Dst uint16
+	Payload  []byte
+}
+
+// Decoding errors. Wrapped with context; match with errors.Is.
+var (
+	ErrShortFrame    = errors.New("wire: truncated frame")
+	ErrFrameTooLarge = errors.New("wire: frame length exceeds maximum")
+	ErrBadVersion    = errors.New("wire: unknown frame version")
+	ErrBadOp         = errors.New("wire: unknown frame op")
+)
+
+// FrameSize is the framed size of a payloadLen-byte payload.
+func FrameSize(payloadLen int) int { return FrameOverhead + payloadLen }
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice. Oversized payloads panic: frame construction is under the
+// transport's control, so exceeding MaxPayload is a programming error, not
+// an input condition.
+func AppendFrame(dst []byte, f Frame) []byte {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("wire: %d-byte payload exceeds MaxPayload (%d)", len(f.Payload), MaxPayload))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
+	dst = append(dst, Version, f.Op)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint16(dst, f.Src)
+	dst = binary.LittleEndian.AppendUint16(dst, f.Dst)
+	return append(dst, f.Payload...)
+}
+
+// parseHeader decodes the post-prefix fixed header (h must hold at least
+// headerLen bytes).
+func parseHeader(h []byte) (Frame, error) {
+	if h[0] != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, h[0])
+	}
+	op := h[1]
+	if op < OpHello || op > OpStats {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadOp, op)
+	}
+	return Frame{
+		Op:  op,
+		Seq: binary.LittleEndian.Uint32(h[2:]),
+		Src: binary.LittleEndian.Uint16(h[6:]),
+		Dst: binary.LittleEndian.Uint16(h[8:]),
+	}, nil
+}
+
+// ParseFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The returned payload aliases b (no
+// allocation), so a corrupted length prefix can never force one: inputs
+// that do not hold a complete, well-formed frame error out.
+func ParseFrame(b []byte) (Frame, int, error) {
+	if len(b) < prefixLen {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes, need %d for the length prefix", ErrShortFrame, len(b), prefixLen)
+	}
+	length := binary.LittleEndian.Uint32(b)
+	if length < headerLen {
+		return Frame{}, 0, fmt.Errorf("%w: length %d below header size %d", ErrShortFrame, length, headerLen)
+	}
+	if length > headerLen+MaxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: length %d", ErrFrameTooLarge, length)
+	}
+	if uint64(len(b)-prefixLen) < uint64(length) {
+		return Frame{}, 0, fmt.Errorf("%w: length %d with only %d bytes after the prefix", ErrShortFrame, length, len(b)-prefixLen)
+	}
+	f, err := parseHeader(b[prefixLen:])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	total := prefixLen + int(length)
+	f.Payload = b[FrameOverhead:total:total]
+	return f, total, nil
+}
+
+// readChunk bounds how much readChunked grows its buffer ahead of data
+// actually arriving, so a hostile length prefix cannot force a large
+// allocation before the stream proves it has the bytes.
+const readChunk = 64 << 10
+
+func readChunked(r io.Reader, n int) ([]byte, error) {
+	var buf []byte
+	for len(buf) < n {
+		k := min(n-len(buf), readChunk)
+		start := len(buf)
+		buf = slices.Grow(buf, k)[: start+k : start+k]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// ReadFrame decodes one frame from r. The returned payload is freshly
+// allocated (never aliases reader internals), and the allocation grows
+// with the data actually read. io.EOF is returned only at a clean frame
+// boundary; mid-frame EOF surfaces as ErrShortFrame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var pre [prefixLen]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, fmt.Errorf("%w: EOF inside the length prefix", ErrShortFrame)
+		}
+		return Frame{}, err
+	}
+	length := binary.LittleEndian.Uint32(pre[:])
+	if length < headerLen {
+		return Frame{}, fmt.Errorf("%w: length %d below header size %d", ErrShortFrame, length, headerLen)
+	}
+	if length > headerLen+MaxPayload {
+		return Frame{}, fmt.Errorf("%w: length %d", ErrFrameTooLarge, length)
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: EOF inside the header", ErrShortFrame)
+	}
+	f, err := parseHeader(hdr[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	if plen := int(length) - headerLen; plen > 0 {
+		payload, err := readChunked(r, plen)
+		if err != nil {
+			return Frame{}, fmt.Errorf("%w: EOF inside a %d-byte payload", ErrShortFrame, plen)
+		}
+		f.Payload = payload
+	}
+	return f, nil
+}
+
+// Stats is one worker process's data-plane accounting, reported in its
+// OpStats payload at shutdown. Only OpData frames are counted, at their
+// full framed size.
+type Stats struct {
+	// BytesRead is the framed bytes of data frames this worker read (from
+	// the parent and from peer workers).
+	BytesRead uint64
+	// BytesWritten is the framed bytes of data frames this worker wrote
+	// (to the parent and to peer workers).
+	BytesWritten uint64
+	// FramesRouted counts the data frames this worker received from the
+	// parent as the owner of their source shard.
+	FramesRouted uint64
+}
+
+const statsLen = 24
+
+func appendStats(dst []byte, s Stats) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.BytesRead)
+	dst = binary.LittleEndian.AppendUint64(dst, s.BytesWritten)
+	return binary.LittleEndian.AppendUint64(dst, s.FramesRouted)
+}
+
+func parseStats(b []byte) (Stats, error) {
+	if len(b) != statsLen {
+		return Stats{}, fmt.Errorf("wire: stats payload is %d bytes, want %d", len(b), statsLen)
+	}
+	return Stats{
+		BytesRead:    binary.LittleEndian.Uint64(b),
+		BytesWritten: binary.LittleEndian.Uint64(b[8:]),
+		FramesRouted: binary.LittleEndian.Uint64(b[16:]),
+	}, nil
+}

@@ -1,0 +1,14 @@
+package wire
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets this test binary serve as its own worker fleet: the pool
+// tests re-execute the running binary, and MaybeWorker diverts those
+// child processes into worker mode before any test runs.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolStats aggregates one pool lifetime's data-plane accounting: the
+// parent's own counters plus every worker's OpStats report. All byte
+// counts are framed sizes of OpData frames.
+type PoolStats struct {
+	// Workers holds each worker process's shutdown report, indexed by
+	// worker.
+	Workers []Stats
+	// SentFrames/SentBytes count data frames the parent wrote to workers.
+	SentFrames, SentBytes uint64
+	// DeliveredFrames/DeliveredBytes count data frames workers wrote back
+	// to the parent.
+	DeliveredFrames, DeliveredBytes uint64
+	// InterWorkerBytes counts the framed bytes of frames whose source and
+	// destination ranks live on different workers — the worker-to-worker
+	// hop between the parent's send and the delivery.
+	InterWorkerBytes uint64
+}
+
+// Add accumulates o into s (for callers aggregating across pool
+// lifetimes, e.g. one per training run).
+func (s *PoolStats) Add(o PoolStats) {
+	for i, ws := range o.Workers {
+		if i < len(s.Workers) {
+			s.Workers[i].BytesRead += ws.BytesRead
+			s.Workers[i].BytesWritten += ws.BytesWritten
+			s.Workers[i].FramesRouted += ws.FramesRouted
+		} else {
+			s.Workers = append(s.Workers, ws)
+		}
+	}
+	s.SentFrames += o.SentFrames
+	s.SentBytes += o.SentBytes
+	s.DeliveredFrames += o.DeliveredFrames
+	s.DeliveredBytes += o.DeliveredBytes
+	s.InterWorkerBytes += o.InterWorkerBytes
+}
+
+// poolProc is one worker process from the parent's side.
+type poolProc struct {
+	cmd      *exec.Cmd
+	conn     *conn
+	ready    chan struct{}
+	waitDone chan struct{}
+	waitErr  error
+}
+
+// Pool is the parent side of a worker fleet: it re-executes the current
+// binary into worker processes, connects to each over its Unix socket,
+// and routes data frames by source shard. Delivered frames arrive on the
+// onData callback from internal reader goroutines; onError reports a
+// broken fleet (a dead worker or socket) outside any Send call.
+type Pool struct {
+	workers int
+	procs   []*poolProc
+	onData  func(Frame)
+	onError func(error)
+
+	sentFrames, sentBytes           atomic.Uint64
+	deliveredFrames, deliveredBytes atomic.Uint64
+	interBytes                      atomic.Uint64
+
+	shuttingDown atomic.Bool
+	readers      sync.WaitGroup
+
+	mu      sync.Mutex
+	stats   []Stats
+	statsOK []bool
+}
+
+// StartPool spawns workers worker processes rooted at dir and blocks
+// until every one acknowledged readiness. onData receives every delivered
+// data frame (payload freshly allocated, caller-owned); both callbacks
+// may be invoked from internal goroutines.
+func StartPool(dir string, workers int, onData func(Frame), onError func(error)) (*Pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("wire: pool needs at least one worker, got %d", workers)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve executable for re-exec: %w", err)
+	}
+	p := &Pool{
+		workers: workers,
+		onData:  onData,
+		onError: onError,
+		stats:   make([]Stats, workers),
+		statsOK: make([]bool, workers),
+	}
+	for i := 0; i < workers; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			envWorker+"="+strconv.Itoa(i),
+			envDir+"="+dir,
+			envWorkers+"="+strconv.Itoa(workers),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			p.Kill()
+			return nil, fmt.Errorf("wire: start worker %d: %w", i, err)
+		}
+		pp := &poolProc{cmd: cmd, ready: make(chan struct{}), waitDone: make(chan struct{})}
+		p.procs = append(p.procs, pp)
+		go func(i int, pp *poolProc) {
+			pp.waitErr = pp.cmd.Wait()
+			close(pp.waitDone)
+			if !p.shuttingDown.Load() {
+				p.fail(fmt.Errorf("wire: worker %d exited mid-run: %v", i, pp.waitErr))
+			}
+		}(i, pp)
+	}
+	for i, pp := range p.procs {
+		c, err := dialRetry(SocketPath(dir, i), dialTimeout)
+		if err != nil {
+			p.Kill()
+			return nil, fmt.Errorf("wire: dial worker %d (is wire.MaybeWorker wired into this binary's main/TestMain?): %w", i, err)
+		}
+		pp.conn = &conn{c: c}
+		if _, err := pp.conn.writeFrame(Frame{Op: OpHello, Src: ParentID}); err != nil {
+			p.Kill()
+			return nil, fmt.Errorf("wire: hello to worker %d: %w", i, err)
+		}
+		p.readers.Add(1)
+		go p.readLoop(i, pp)
+	}
+	for i, pp := range p.procs {
+		select {
+		case <-pp.ready:
+		case <-pp.waitDone:
+			p.Kill()
+			return nil, fmt.Errorf("wire: worker %d exited before ready: %v", i, pp.waitErr)
+		case <-time.After(dialTimeout):
+			p.Kill()
+			return nil, fmt.Errorf("wire: worker %d never reported ready", i)
+		}
+	}
+	return p, nil
+}
+
+func (p *Pool) fail(err error) {
+	if p.onError != nil {
+		p.onError(err)
+	}
+}
+
+// readLoop services one worker connection until its OpStats report (clean
+// shutdown) or a read error.
+func (p *Pool) readLoop(i int, pp *poolProc) {
+	defer p.readers.Done()
+	br := bufio.NewReaderSize(pp.conn.c, readChunk)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if !p.shuttingDown.Load() {
+				p.fail(fmt.Errorf("wire: worker %d read: %w", i, err))
+			}
+			return
+		}
+		switch f.Op {
+		case OpReady:
+			close(pp.ready)
+		case OpData:
+			p.deliveredFrames.Add(1)
+			p.deliveredBytes.Add(uint64(FrameSize(len(f.Payload))))
+			p.onData(f)
+		case OpStats:
+			s, err := parseStats(f.Payload)
+			p.mu.Lock()
+			p.stats[i] = s
+			p.statsOK[i] = err == nil
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Send routes one data frame into the fleet via the worker owning f.Src's
+// shard. Safe for concurrent use. The payload is fully written before
+// Send returns, so the caller may reuse it.
+func (p *Pool) Send(f Frame) error {
+	shard := int(f.Src) % p.workers
+	n, err := p.procs[shard].conn.writeFrame(f)
+	if err != nil {
+		return fmt.Errorf("wire: send to worker %d: %w", shard, err)
+	}
+	p.sentFrames.Add(1)
+	p.sentBytes.Add(uint64(n))
+	if int(f.Dst)%p.workers != shard {
+		p.interBytes.Add(uint64(n))
+	}
+	return nil
+}
+
+func (p *Pool) snapshot() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Workers:          append([]Stats(nil), p.stats...),
+		SentFrames:       p.sentFrames.Load(),
+		SentBytes:        p.sentBytes.Load(),
+		DeliveredFrames:  p.deliveredFrames.Load(),
+		DeliveredBytes:   p.deliveredBytes.Load(),
+		InterWorkerBytes: p.interBytes.Load(),
+	}
+}
+
+// Shutdown asks every worker to stop, collects their stats reports, and
+// reaps the processes — killing any that fail to exit within the reap
+// timeout, so a wedged worker can never leak past a run. It returns the
+// pool's aggregated stats and the first problem encountered (nil on a
+// fully graceful shutdown).
+func (p *Pool) Shutdown() (PoolStats, error) {
+	p.shuttingDown.Store(true)
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	for i, pp := range p.procs {
+		if _, err := pp.conn.writeFrame(Frame{Op: OpShutdown, Src: ParentID}); err != nil {
+			keep(fmt.Errorf("wire: shutdown to worker %d: %w", i, err))
+		}
+	}
+	readersDone := make(chan struct{})
+	go func() { p.readers.Wait(); close(readersDone) }()
+	select {
+	case <-readersDone:
+	case <-time.After(reapTimeout):
+		keep(errors.New("wire: workers did not acknowledge shutdown"))
+	}
+	for i, pp := range p.procs {
+		select {
+		case <-pp.waitDone:
+		case <-time.After(reapTimeout):
+			pp.cmd.Process.Kill()
+			<-pp.waitDone
+			keep(fmt.Errorf("wire: worker %d killed after shutdown timeout", i))
+		}
+		if pp.waitErr != nil {
+			keep(fmt.Errorf("wire: worker %d exit: %v", i, pp.waitErr))
+		}
+		pp.conn.c.Close()
+	}
+	stats := p.snapshot()
+	p.mu.Lock()
+	for i, ok := range p.statsOK {
+		if !ok {
+			keep(fmt.Errorf("wire: worker %d returned no stats", i))
+		}
+	}
+	p.mu.Unlock()
+	return stats, firstErr
+}
+
+// Kill force-terminates the fleet without a handshake (the abort path:
+// the run failed, or the fleet itself broke). It reaps every process that
+// was started and is safe to call at any point after StartPool began.
+func (p *Pool) Kill() {
+	p.shuttingDown.Store(true)
+	for _, pp := range p.procs {
+		if pp.cmd.Process != nil {
+			pp.cmd.Process.Kill()
+		}
+		if pp.conn != nil {
+			pp.conn.c.Close()
+		}
+	}
+	for _, pp := range p.procs {
+		select {
+		case <-pp.waitDone:
+		case <-time.After(reapTimeout):
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestMain lets this test binary serve as its own proc-sharded worker:
+// the transport benchmarks iterate every registered backend, and the
+// proc-sharded rows re-execute the running binary to get their worker
+// processes.
+func TestMain(m *testing.M) {
+	wire.MaybeWorker()
+	os.Exit(m.Run())
+}

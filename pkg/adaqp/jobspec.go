@@ -26,6 +26,9 @@ type JobSpec struct {
 	// Overlap enables the split-phase collective schedule that hides
 	// wire time behind central-graph compute (TransportSpec.Overlap).
 	Overlap bool `json:"overlap,omitempty"`
+	// SocketDir roots the Unix-domain socket directories of socket-backed
+	// transports (TransportSpec.SocketDir).
+	SocketDir string `json:"socket_dir,omitempty"`
 
 	Parts  int `json:"parts,omitempty"`
 	Epochs int `json:"epochs,omitempty"`
@@ -99,12 +102,13 @@ func (j JobSpec) Options() ([]Option, error) {
 	// The transport and codec fields map onto the grouped specs — the
 	// same structs programmatic callers hand to WithTransport/WithCodec —
 	// so the JSON/flag path and the Go API cannot drift.
-	if j.Transport != "" || j.Workers != 0 || j.Staleness != 0 || j.Overlap {
+	if j.Transport != "" || j.Workers != 0 || j.Staleness != 0 || j.Overlap || j.SocketDir != "" {
 		opts = append(opts, WithTransport(TransportSpec{
 			Name:      j.Transport,
 			Workers:   j.Workers,
 			Staleness: j.Staleness,
 			Overlap:   j.Overlap,
+			SocketDir: j.SocketDir,
 		}))
 	}
 	if j.Parts != 0 {

@@ -1,0 +1,17 @@
+package adaqp_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestMain lets this test binary serve as its own proc-sharded worker:
+// tests running the proc-sharded backend re-execute the running binary to
+// get their worker processes (wire.MaybeWorker never returns in that
+// mode).
+func TestMain(m *testing.M) {
+	wire.MaybeWorker()
+	os.Exit(m.Run())
+}

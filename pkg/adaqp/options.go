@@ -115,6 +115,11 @@ type TransportSpec struct {
 	// Payload routing is unchanged — fixed-seed loss curves stay
 	// bit-identical to the blocking schedule on every backend.
 	Overlap bool
+	// SocketDir roots the per-run Unix-domain socket directories of
+	// socket-backed backends (TransportProcSharded, where Workers is the
+	// worker process count). Empty uses the system temp directory;
+	// in-memory backends ignore it.
+	SocketDir string
 }
 
 // WithTransport sets the run's transport configuration to spec.
@@ -130,6 +135,7 @@ func WithTransport(spec TransportSpec) Option {
 		s.cfg.TransportWorkers = spec.Workers
 		s.cfg.TransportStaleness = spec.Staleness
 		s.cfg.TransportOverlap = spec.Overlap
+		s.cfg.TransportSocketDir = spec.SocketDir
 		return nil
 	}
 }
